@@ -1,0 +1,119 @@
+// Ablation (DESIGN.md §5.1): why Match(S) uses MAX cluster linkage.
+//
+// The paper's bridging story (§3, Figure 3) depends on it: a GA constraint
+// joining two dissimilar attributes must keep growing through either
+// endpoint's high-similarity neighbors. Under average linkage the
+// dissimilar member drags every cross-cluster similarity down and the
+// bridged cluster freezes.
+//
+// This bench builds Figure 3-style instances at growing scale and reports,
+// for both linkages, how large the bridged GA grows and how many true GAs
+// the full Books workload recovers.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/ground_truth.h"
+#include "match/matcher.h"
+#include "schema/universe.h"
+#include "text/similarity.h"
+#include "text/similarity_matrix.h"
+
+using namespace mube;        // NOLINT
+using namespace mube::bench; // NOLINT
+
+namespace {
+
+/// A Figure 3 instance: one "f name"-family of k sources, one "prenom"-
+/// family of k sources, and a user constraint bridging one attribute of
+/// each family.
+Universe BridgeUniverse(size_t family_size) {
+  Universe u;
+  for (size_t i = 0; i < family_size; ++i) {
+    Source s(0, "fname" + std::to_string(i));
+    s.AddAttribute(Attribute(i == 0 ? "f name" : "f names"));
+    u.AddSource(std::move(s));
+  }
+  for (size_t i = 0; i < family_size; ++i) {
+    Source s(0, "prenom" + std::to_string(i));
+    s.AddAttribute(Attribute(i == 0 ? "prenom" : "prenoms"));
+    u.AddSource(std::move(s));
+  }
+  return u;
+}
+
+size_t BridgedGaSize(const Universe& u, ClusterLinkage linkage) {
+  NGramJaccard measure(3);
+  SimilarityMatrix matrix(u, measure);
+  Matcher matcher(u, matrix);
+  MatchOptions options;
+  options.theta = 0.6;
+  options.linkage = linkage;
+
+  MediatedSchema constraints;
+  constraints.Add(GlobalAttribute(
+      {AttributeRef(0, 0),
+       AttributeRef(static_cast<uint32_t>(u.size() / 2), 0)}));
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < u.size(); ++i) all.push_back(i);
+
+  auto result = matcher.Match(all, options, {}, constraints);
+  if (!result.ok() || !result.ValueOrDie().feasible) return 0;
+  // Find the GA containing the bridge endpoints.
+  for (const GlobalAttribute& ga : result.ValueOrDie().schema.gas()) {
+    if (ga.Contains(AttributeRef(0, 0))) return ga.size();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Linkage ablation — size of the Figure 3 bridged GA\n");
+  std::printf(
+      "paper's max linkage keeps growing; average linkage freezes\n\n");
+
+  PrintHeader({"family size", "max-link GA", "avg-link GA", "ideal"});
+  for (size_t family : {2, 4, 8, 16}) {
+    Universe u = BridgeUniverse(family);
+    std::printf("%14zu%14zu%14zu%14zu\n", family,
+                BridgedGaSize(u, ClusterLinkage::kMax),
+                BridgedGaSize(u, ClusterLinkage::kAverage), 2 * family);
+  }
+
+  // Full-workload effect: true-GA recovery on the Books universe.
+  std::printf("\nBooks workload (|U| = %d, full subset matched directly)\n",
+              QuickMode() ? 60 : 200);
+  auto generated = GenerateUniverse(PaperWorkload(QuickMode() ? 60 : 200));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const Universe& u = generated.ValueOrDie().universe;
+  NGramJaccard measure(3);
+  SimilarityMatrix matrix(u, measure);
+  Matcher matcher(u, matrix);
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < u.size(); ++i) all.push_back(i);
+
+  PrintHeader({"linkage", "GAs", "true GAs", "false GAs", "F1"});
+  for (ClusterLinkage linkage :
+       {ClusterLinkage::kMax, ClusterLinkage::kAverage}) {
+    MatchOptions options;
+    options.theta = 0.75;
+    options.linkage = linkage;
+    auto result = matcher.Match(all, options);
+    if (!result.ok()) continue;
+    SolutionEval solution;
+    solution.sources = all;
+    solution.schema = result.ValueOrDie().schema;
+    const GaQualityReport report = ScoreAgainstConcepts(
+        u, solution, generated.ValueOrDie().num_concepts);
+    std::printf("%14s%14zu%14zu%14zu%14.3f\n",
+                linkage == ClusterLinkage::kMax ? "max" : "average",
+                result.ValueOrDie().schema.size(), report.true_gas_selected,
+                report.false_gas, result.ValueOrDie().quality);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7: overall solution quality Q(S) for the Figure 6 settings
+// (choose 10..50 sources from a universe of 200, five constraint
+// configurations).
+//
+// Paper's expectations: quality increases with the number of sources to
+// choose (more options to exploit) and decreases as constraints are added
+// (fewer valid options).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/mube.h"
+#include "datagen/generator.h"
+
+using namespace mube;        // NOLINT
+using namespace mube::bench; // NOLINT
+
+int main() {
+  std::printf(
+      "Figure 7 — overall quality Q(S), choosing m sources from 200\n");
+  std::printf(
+      "paper shape: rises with m; more constraints => lower quality\n\n");
+
+  auto generated = GenerateUniverse(PaperWorkload(200));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<size_t> chosen = QuickMode()
+                                         ? std::vector<size_t>{10, 20, 30}
+                                         : std::vector<size_t>{10, 20, 30,
+                                                               40, 50};
+
+  std::vector<std::string> columns = {"m"};
+  for (const ConstraintConfig& config : PaperConstraintConfigs()) {
+    columns.push_back(config.label);
+  }
+  PrintHeader(columns);
+
+  for (size_t m : chosen) {
+    MubeConfig config = BenchConfig(200, m);
+    auto engine = Mube::Create(&generated.ValueOrDie().universe, config);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "create: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%14zu", m);
+    for (const ConstraintConfig& cc : PaperConstraintConfigs()) {
+      RunSpec spec = MakeRunSpec(generated.ValueOrDie(), cc, /*seed=*/m,
+                                 config.optimizer_options.max_evaluations,
+                                 m);
+      auto result = engine.ValueOrDie()->Run(spec);
+      if (!result.ok()) {
+        std::printf("%14s", "infeas");
+      } else {
+        std::printf("%14.4f", result.ValueOrDie().solution.overall);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Google-benchmark microbenches for the µBE hot paths: the pairwise
+// similarity kernel, similarity-matrix construction, Match(S) clustering,
+// PCSA updates/merges/estimates, and whole-solution evaluation. These are
+// the costs that determine whether the interactive loop of §6 stays in the
+// "minutes" envelope the paper targets.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "exec/executor.h"
+#include "match/matcher.h"
+#include "qef/match_qef.h"
+#include "sketch/pcsa.h"
+#include "sketch/signature_cache.h"
+#include "text/similarity.h"
+#include "text/similarity_matrix.h"
+
+namespace mube {
+namespace {
+
+const GeneratedUniverse& SharedUniverse() {
+  static const GeneratedUniverse* const kGenerated = [] {
+    GeneratorConfig config;
+    config.num_sources = 200;
+    config.min_cardinality = 1'000;
+    config.max_cardinality = 20'000;
+    config.tuple_pool_size = 100'000;
+    config.specialty_tuples_min = 10;
+    config.specialty_tuples_max = 100;
+    auto result = GenerateUniverse(config);
+    return new GeneratedUniverse(std::move(result).ValueOrDie());
+  }();
+  return *kGenerated;
+}
+
+void BM_JaccardSimilarity(benchmark::State& state) {
+  NGramJaccard jaccard(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        jaccard.Similarity("publication year", "publication date"));
+  }
+}
+BENCHMARK(BM_JaccardSimilarity);
+
+void BM_JaccardPreparedTokens(benchmark::State& state) {
+  NGramJaccard jaccard(3);
+  const auto a = jaccard.PrepareTokens("publication year");
+  const auto b = jaccard.PrepareTokens("publication date");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jaccard.SimilarityFromTokens(a, b));
+  }
+}
+BENCHMARK(BM_JaccardPreparedTokens);
+
+void BM_SimilarityMatrixBuild(benchmark::State& state) {
+  const Universe& universe = SharedUniverse().universe;
+  NGramJaccard jaccard(3);
+  for (auto _ : state) {
+    SimilarityMatrix matrix(universe, jaccard);
+    benchmark::DoNotOptimize(matrix.attribute_count());
+  }
+  state.SetLabel(std::to_string(universe.total_attribute_count()) +
+                 " attributes");
+}
+BENCHMARK(BM_SimilarityMatrixBuild)->Unit(benchmark::kMillisecond);
+
+void BM_MatchSubset(benchmark::State& state) {
+  const Universe& universe = SharedUniverse().universe;
+  static const NGramJaccard jaccard(3);
+  static const SimilarityMatrix* const matrix =
+      new SimilarityMatrix(universe, jaccard);
+  Matcher matcher(universe, *matrix);
+  MatchOptions options;
+  options.theta = 0.75;
+
+  Rng rng(7);
+  const size_t m = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<uint32_t>> subsets;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<uint32_t> subset;
+    for (size_t p : rng.SampleWithoutReplacement(universe.size(), m)) {
+      subset.push_back(static_cast<uint32_t>(p));
+    }
+    subsets.push_back(std::move(subset));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = matcher.Match(subsets[i++ % subsets.size()], options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_MatchSubset)->Arg(10)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PcsaAdd(benchmark::State& state) {
+  PcsaSketch sketch;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(i++ * 0x9e3779b97f4a7c15ULL);
+  }
+}
+BENCHMARK(BM_PcsaAdd);
+
+void BM_PcsaMergeAndEstimate(benchmark::State& state) {
+  PcsaSketch a, b;
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    a.Add(i * 3);
+    b.Add(i * 5);
+  }
+  for (auto _ : state) {
+    PcsaSketch merged = a;
+    benchmark::DoNotOptimize(merged.MergeFrom(b).ok());
+    benchmark::DoNotOptimize(merged.Estimate());
+  }
+}
+BENCHMARK(BM_PcsaMergeAndEstimate);
+
+void BM_UnionEstimate20Sources(benchmark::State& state) {
+  const GeneratedUniverse& generated = SharedUniverse();
+  static const SignatureCache* const cache =
+      new SignatureCache(generated.universe, PcsaConfig());
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint32_t> subset;
+    for (size_t p :
+         rng.SampleWithoutReplacement(generated.universe.size(), 20)) {
+      subset.push_back(static_cast<uint32_t>(p));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cache->EstimateUnion(subset));
+  }
+}
+BENCHMARK(BM_UnionEstimate20Sources)->Unit(benchmark::kMicrosecond);
+
+void BM_MatchQefMemoHit(benchmark::State& state) {
+  const Universe& universe = SharedUniverse().universe;
+  static const NGramJaccard jaccard(3);
+  static const SimilarityMatrix* const matrix =
+      new SimilarityMatrix(universe, jaccard);
+  Matcher matcher(universe, *matrix);
+  MatchOptions options;
+  options.theta = 0.75;
+  MatchQualityQef qef(matcher, options, {}, MediatedSchema());
+  std::vector<uint32_t> subset;
+  for (uint32_t i = 0; i < 20; ++i) subset.push_back(i * 7);
+  qef.Evaluate(subset);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qef.Evaluate(subset));
+  }
+}
+BENCHMARK(BM_MatchQefMemoHit);
+
+void BM_SimilarityMatrixBuildParallel(benchmark::State& state) {
+  const Universe& universe = SharedUniverse().universe;
+  NGramJaccard jaccard(3);
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    SimilarityMatrix matrix(universe, jaccard, threads);
+    benchmark::DoNotOptimize(matrix.attribute_count());
+  }
+}
+BENCHMARK(BM_SimilarityMatrixBuildParallel)->Arg(1)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MediatedQueryScan(benchmark::State& state) {
+  const GeneratedUniverse& generated = SharedUniverse();
+  static const NGramJaccard jaccard(3);
+  static const SimilarityMatrix* const matrix =
+      new SimilarityMatrix(generated.universe, jaccard);
+  Matcher matcher(generated.universe, *matrix);
+  std::vector<uint32_t> subset;
+  for (uint32_t i = 0; i < 20; ++i) subset.push_back(i * 7);
+  auto match = matcher.Match(subset, MatchOptions());
+  MediatedExecutor exec(generated.universe, subset,
+                        match.ValueOrDie().schema);
+  Query point;
+  point.predicates = {{0, CompareOp::kEq, 7}};
+  for (auto _ : state) {
+    auto result = exec.Execute(point);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_MediatedQueryScan)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mube
+
+BENCHMARK_MAIN();

@@ -1,0 +1,230 @@
+// Extension experiment: the query-time consequences of source selection —
+// the tradeoff the paper's introduction motivates µBE with ("including all
+// these sources will unnecessarily increase the cost of executing queries,
+// especially if the same information is repeated in multiple sources").
+//
+// Sweeps m, solves with µBE, and executes a fixed query workload over each
+// solution, reporting completeness (distinct answers / answers over the
+// whole universe), transfer overhead from duplicates, and simulated cost.
+// A second table re-solves at m = 20 with the Redundancy weight dialed up,
+// showing redundancy-aware selection buys the same completeness cheaper.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "core/mube.h"
+#include "datagen/generator.h"
+#include "exec/executor.h"
+#include "exec/virtual_data.h"
+#include "match/matcher.h"
+
+using namespace mube;        // NOLINT
+using namespace mube::bench; // NOLINT
+
+namespace {
+
+struct WorkloadStats {
+  double completeness = 0.0;
+  double dup_overhead = 0.0;  // duplicates / transferred
+  double conflicts = 0.0;
+  double cost_ms = 0.0;
+};
+
+/// The workload is defined over *concepts*, not GA indexes: GA indexes are
+/// schema-local, so the same semantic query must be re-targeted at each
+/// schema's own GA for that concept.
+struct ConceptQuery {
+  /// kNoConcept = full scan (no predicate).
+  int32_t concept_id = kNoConcept;
+  CompareOp op = CompareOp::kEq;
+  uint64_t value = 0;
+};
+
+std::vector<ConceptQuery> FixedWorkload() {
+  return {
+      {kNoConcept, CompareOp::kEq, 0},  // full scan
+      {0, CompareOp::kEq, 3},           // point lookup on "title"
+      {0, CompareOp::kLt, 256},         // range on "title"
+  };
+}
+
+/// Largest GA of `schema` that is purely concept `concept_id` (clustering
+/// may split a concept into several variant-family GAs; querying the
+/// biggest one is what a user would do).
+std::optional<size_t> GaForConcept(const Universe& universe,
+                                   const MediatedSchema& schema,
+                                   int32_t concept_id) {
+  std::optional<size_t> best;
+  for (size_t g = 0; g < schema.size(); ++g) {
+    bool pure = !schema.ga(g).empty();
+    for (const AttributeRef& ref : schema.ga(g).members()) {
+      if (universe.attribute(ref).concept_id != concept_id) {
+        pure = false;
+        break;
+      }
+    }
+    if (pure && (!best.has_value() ||
+                 schema.ga(g).size() > schema.ga(*best).size())) {
+      best = g;
+    }
+  }
+  return best;
+}
+
+/// Ground-truth answer count of one concept query: distinct tuples, over
+/// ALL sources, that match the predicate and are held by at least one
+/// source exposing the concept. Schema-independent — the denominator of
+/// the completeness metric.
+size_t TrueAnswerCount(const Universe& universe, const ConceptQuery& query) {
+  std::unordered_set<uint64_t> answers;
+  for (const Source& source : universe.sources()) {
+    if (!source.has_tuples()) continue;
+    if (query.concept_id == kNoConcept) {
+      answers.insert(source.tuples().begin(), source.tuples().end());
+      continue;
+    }
+    const Attribute* attribute = nullptr;
+    for (const Attribute& a : source.attributes()) {
+      if (a.concept_id == query.concept_id) {
+        attribute = &a;
+        break;
+      }
+    }
+    if (attribute == nullptr) continue;
+    const uint64_t key = SemanticKey(*attribute);
+    const Predicate predicate{0, query.op, query.value};
+    for (uint64_t tuple : source.tuples()) {
+      if (predicate.Matches(FieldValue(tuple, key))) answers.insert(tuple);
+    }
+  }
+  return answers.size();
+}
+
+/// Executes the concept workload over one integration system; returns the
+/// per-query distinct-answer counts through `answer_counts` (for oracle
+/// comparison). A query whose concept the schema does not expose
+/// contributes zero answers at zero cost — an incompleteness the metric
+/// should (and does) punish.
+WorkloadStats RunWorkload(const Universe& universe,
+                          const std::vector<uint32_t>& sources,
+                          const MediatedSchema& schema,
+                          std::vector<size_t>* answer_counts,
+                          const std::vector<size_t>* oracle_counts) {
+  MediatedExecutor exec(universe, sources, schema);
+  WorkloadStats stats;
+  const std::vector<ConceptQuery> workload = FixedWorkload();
+  answer_counts->assign(workload.size(), 0);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    Query query;
+    if (workload[i].concept_id != kNoConcept) {
+      std::optional<size_t> ga =
+          GaForConcept(universe, schema, workload[i].concept_id);
+      if (!ga.has_value()) continue;  // concept missing: 0 answers
+      query.predicates = {
+          {*ga, workload[i].op, workload[i].value}};
+    }
+    auto result = exec.Execute(query);
+    if (!result.ok()) continue;
+    const ExecutionResult& r = result.ValueOrDie();
+    (*answer_counts)[i] = r.records.size();
+    if (oracle_counts != nullptr && (*oracle_counts)[i] > 0) {
+      stats.completeness += static_cast<double>(r.records.size()) /
+                            static_cast<double>((*oracle_counts)[i]);
+    }
+    if (r.tuples_transferred > 0) {
+      stats.dup_overhead += static_cast<double>(r.duplicates_merged) /
+                            static_cast<double>(r.tuples_transferred);
+    }
+    stats.conflicts += static_cast<double>(r.conflicts);
+    stats.cost_ms += r.total_cost_ms;
+  }
+  const double n = static_cast<double>(workload.size());
+  stats.completeness /= n;
+  stats.dup_overhead /= n;
+  stats.conflicts /= n;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Query-time cost vs completeness of µBE solutions (|U| = %d)\n",
+      QuickMode() ? 80 : 200);
+  std::printf(
+      "expected: completeness and cost both rise with m; duplicates grow\n\n");
+
+  auto generated = GenerateUniverse(PaperWorkload(QuickMode() ? 80 : 200));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const Universe& universe = generated.ValueOrDie().universe;
+
+  MubeConfig base_config = BenchConfig(universe.size(), 20);
+  auto engine = Mube::Create(&universe, base_config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "create: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Oracle: schema-independent ground-truth answer counts over the whole
+  // universe.
+  std::vector<size_t> oracle_counts;
+  for (const ConceptQuery& q : FixedWorkload()) {
+    oracle_counts.push_back(TrueAnswerCount(universe, q));
+  }
+
+  PrintHeader({"m", "completeness", "dup overhead", "conflicts",
+               "cost (ms)"});
+  const std::vector<size_t> sweep = QuickMode()
+                                        ? std::vector<size_t>{5, 10, 20}
+                                        : std::vector<size_t>{5, 10, 20,
+                                                              40, 80};
+  for (size_t m : sweep) {
+    RunSpec spec;
+    spec.max_sources = m;
+    spec.seed = 7;
+    auto solved = engine.ValueOrDie()->Run(spec);
+    if (!solved.ok()) {
+      std::printf("%14zu%14s\n", m, "infeas");
+      continue;
+    }
+    const SolutionEval& solution = solved.ValueOrDie().solution;
+    std::vector<size_t> counts;
+    const WorkloadStats stats = RunWorkload(
+        universe, solution.sources, solution.schema, &counts,
+        &oracle_counts);
+    std::printf("%14zu%14.3f%14.3f%14.1f%14.0f\n", m, stats.completeness,
+                stats.dup_overhead, stats.conflicts, stats.cost_ms);
+    std::fflush(stdout);
+  }
+
+  // Redundancy-weight ablation at m = 20: shifting weight from cardinality
+  // to redundancy buys less duplicated transfer.
+  std::printf("\nredundancy-weight ablation (m = 20):\n");
+  PrintHeader({"redundancy w", "completeness", "dup overhead", "cost (ms)"});
+  for (double rw : {0.05, 0.15, 0.40, 0.60}) {
+    // matching .25 stays; coverage .20 stays; mttf .15 stays; the rest
+    // splits between cardinality and redundancy.
+    const double card = 1.0 - 0.25 - 0.20 - 0.15 - rw;
+    if (card < 0) break;
+    RunSpec spec;
+    spec.weights = std::vector<double>{0.25, card, 0.20, rw, 0.15};
+    spec.max_sources = 20;
+    spec.seed = 7;
+    auto solved = engine.ValueOrDie()->Run(spec);
+    if (!solved.ok()) continue;
+    const SolutionEval& solution = solved.ValueOrDie().solution;
+    std::vector<size_t> counts;
+    const WorkloadStats stats = RunWorkload(
+        universe, solution.sources, solution.schema, &counts,
+        &oracle_counts);
+    std::printf("%14.2f%14.3f%14.3f%14.0f\n", rw, stats.completeness,
+                stats.dup_overhead, stats.cost_ms);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension experiment: precision/recall of concept recovery as a function
+// of the matching threshold θ. The paper fixes θ = 0.75 (§7.1) and lets
+// the user move it between iterations; this sweep shows why 0.75 is a good
+// default for 3-gram Jaccard on web-form attribute names:
+//   - low θ merges across concepts (false GAs appear — precision drops);
+//   - high θ only accepts near-identical names (concepts recovered from
+//     fewer attribute variants — recall drops).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/ground_truth.h"
+#include "match/matcher.h"
+#include "text/similarity.h"
+#include "text/similarity_matrix.h"
+
+using namespace mube;        // NOLINT
+using namespace mube::bench; // NOLINT
+
+int main() {
+  std::printf("Theta sweep — concept recovery vs matching threshold\n");
+  std::printf("expected: false GAs at low theta, missed concepts at high\n\n");
+
+  auto generated = GenerateUniverse(PaperWorkload(QuickMode() ? 60 : 200));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const GeneratedUniverse& g = generated.ValueOrDie();
+  NGramJaccard measure(3);
+  SimilarityMatrix matrix(g.universe, measure);
+  Matcher matcher(g.universe, matrix);
+
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < g.universe.size(); ++i) all.push_back(i);
+
+  PrintHeader({"theta", "GAs", "true GAs", "missed", "false GAs", "F1"});
+  for (double theta : {0.30, 0.40, 0.50, 0.60, 0.70, 0.75, 0.80, 0.90,
+                       0.95}) {
+    MatchOptions options;
+    options.theta = theta;
+    auto result = matcher.Match(all, options);
+    if (!result.ok()) continue;
+    SolutionEval solution;
+    solution.sources = all;
+    solution.schema = result.ValueOrDie().schema;
+    const GaQualityReport report =
+        ScoreAgainstConcepts(g.universe, solution, g.num_concepts);
+    std::printf("%14.2f%14zu%14zu%14zu%14zu%14.3f\n", theta,
+                result.ValueOrDie().schema.size(), report.true_gas_selected,
+                report.true_gas_missed, report.false_gas,
+                result.ValueOrDie().quality);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Non-interactive command-line front end: load (or synthesize) a catalog,
+// solve one µBE problem from flags, print the solution — the scripting
+// counterpart of interactive_session. Exit code 0 iff a feasible solution
+// was found.
+//
+// Usage:
+//   batch_cli [--catalog FILE | --domain books|jobs --sources N]
+//             [--m K] [--theta T] [--optimizer NAME] [--seed S]
+//             [--weights w1,w2,w3,w4,w5] [--pin SOURCE]... [--ga LINE]...
+//             [--alternatives K] [--measure NAME]
+//
+// Examples:
+//   batch_cli --domain books --sources 200 --m 20
+//   batch_cli --catalog examples/catalogs/theater.catalog --m 5 --theta 0.7
+//   batch_cli --domain jobs --sources 150 --m 12 --alternatives 3
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/mube.h"
+#include "datagen/generator.h"
+#include "schema/serialization.h"
+
+namespace {
+
+struct Args {
+  std::string catalog;
+  std::string domain = "books";
+  size_t sources = 200;
+  size_t m = 20;
+  double theta = -1.0;
+  std::string optimizer;
+  std::string measure;
+  uint64_t seed = 1;
+  std::vector<double> weights;
+  std::vector<std::string> pins;
+  std::vector<std::string> gas;
+  size_t alternatives = 1;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (flag == "--catalog" && (value = next())) {
+      args->catalog = value;
+    } else if (flag == "--domain" && (value = next())) {
+      args->domain = value;
+    } else if (flag == "--sources" && (value = next())) {
+      args->sources = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--m" && (value = next())) {
+      args->m = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--theta" && (value = next())) {
+      args->theta = std::strtod(value, nullptr);
+    } else if (flag == "--optimizer" && (value = next())) {
+      args->optimizer = value;
+    } else if (flag == "--measure" && (value = next())) {
+      args->measure = value;
+    } else if (flag == "--seed" && (value = next())) {
+      args->seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--weights" && (value = next())) {
+      for (const std::string& piece : mube::SplitAndTrim(value, ',')) {
+        args->weights.push_back(std::strtod(piece.c_str(), nullptr));
+      }
+    } else if (flag == "--pin" && (value = next())) {
+      args->pins.push_back(value);
+    } else if (flag == "--ga" && (value = next())) {
+      args->gas.push_back(value);
+    } else if (flag == "--alternatives" && (value = next())) {
+      args->alternatives = std::strtoull(value, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintResult(const mube::Universe& universe,
+                 const mube::MubeResult& result, size_t rank) {
+  std::printf("--- solution %zu: Q = %.4f (%.2fs, %zu subsets matched) ---\n",
+              rank, result.solution.overall, result.elapsed_seconds,
+              result.distinct_subsets_matched);
+  std::printf("sources:");
+  for (uint32_t sid : result.solution.sources) {
+    std::printf(" %s", universe.source(sid).name().c_str());
+  }
+  std::printf("\nmediated schema (%zu GAs):\n%s",
+              result.solution.schema.size(),
+              mube::SerializeMediatedSchema(result.solution.schema,
+                                            universe)
+                  .c_str());
+  for (size_t i = 0; i < result.qef_names.size(); ++i) {
+    std::printf("  %-18s %.4f\n", result.qef_names[i].c_str(),
+                result.solution.qef_values[i]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // --- Catalog ------------------------------------------------------------
+  mube::Universe universe;
+  if (!args.catalog.empty()) {
+    std::ifstream in(args.catalog);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.catalog.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = mube::ParseUniverse(buffer.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    universe = std::move(parsed).ValueOrDie();
+  } else {
+    mube::GeneratorConfig gen;
+    gen.domain = args.domain;
+    gen.num_sources = args.sources;
+    gen.max_cardinality = 100'000;
+    gen.tuple_pool_size = 1'000'000;
+    gen.seed = args.seed;
+    auto generated = mube::GenerateUniverse(gen);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 2;
+    }
+    universe = std::move(generated.ValueOrDie().universe);
+  }
+  std::printf("catalog: %zu sources, %zu attributes\n", universe.size(),
+              universe.total_attribute_count());
+
+  // --- Engine ---------------------------------------------------------
+  mube::MubeConfig config = mube::MubeConfig::PaperDefaults();
+  config.max_sources = args.m;
+  if (args.theta >= 0.0) config.theta = args.theta;
+  if (!args.optimizer.empty()) config.optimizer = args.optimizer;
+  if (!args.measure.empty()) config.similarity_measure = args.measure;
+  auto engine = mube::Mube::Create(&universe, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 2;
+  }
+
+  // --- RunSpec ----------------------------------------------------------
+  mube::RunSpec spec;
+  spec.seed = args.seed;
+  if (!args.weights.empty()) spec.weights = args.weights;
+  for (const std::string& name : args.pins) {
+    auto sid = universe.FindSource(name);
+    if (!sid.has_value()) {
+      std::fprintf(stderr, "--pin: no source named '%s'\n", name.c_str());
+      return 2;
+    }
+    spec.source_constraints.push_back(*sid);
+  }
+  for (const std::string& line : args.gas) {
+    auto ga = mube::ParseGlobalAttribute(line, universe);
+    if (!ga.ok()) {
+      std::fprintf(stderr, "--ga: %s\n", ga.status().ToString().c_str());
+      return 2;
+    }
+    spec.ga_constraints.Add(ga.MoveValueUnsafe());
+  }
+
+  // --- Solve -----------------------------------------------------------
+  if (args.alternatives <= 1) {
+    auto result = engine.ValueOrDie()->Run(spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(universe, result.ValueOrDie(), 1);
+  } else {
+    auto results =
+        engine.ValueOrDie()->RunAlternatives(spec, args.alternatives);
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < results.ValueOrDie().size(); ++i) {
+      PrintResult(universe, results.ValueOrDie()[i], i + 1);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The n:m matching extension of paper §2.1: compound schema elements.
+//
+// Real web sources disagree on attribute granularity — one form asks for
+// "author name", another for "author first name" + "author last name". A
+// 1:1 matcher can never relate them. Declaring a compound element over the
+// split attributes lets the unchanged µBE pipeline match at the compound
+// level, and the match projects back to a 1:2 correspondence.
+
+#include <cstdio>
+
+#include "match/matcher.h"
+#include "schema/compound.h"
+#include "schema/universe.h"
+#include "text/similarity.h"
+#include "text/similarity_matrix.h"
+
+int main() {
+  // Three book sources with mismatched granularity.
+  mube::Universe universe;
+  {
+    mube::Source s(0, "monolith.books");
+    s.AddAttribute(mube::Attribute("author name"));
+    s.AddAttribute(mube::Attribute("title"));
+    universe.AddSource(std::move(s));
+  }
+  {
+    mube::Source s(0, "split.books");
+    s.AddAttribute(mube::Attribute("author first name"));
+    s.AddAttribute(mube::Attribute("author last name"));
+    s.AddAttribute(mube::Attribute("title"));
+    universe.AddSource(std::move(s));
+  }
+  {
+    mube::Source s(0, "third.books");
+    s.AddAttribute(mube::Attribute("author name"));
+    s.AddAttribute(mube::Attribute("title"));
+    universe.AddSource(std::move(s));
+  }
+
+  std::printf("catalog:\n");
+  for (const mube::Source& s : universe.sources()) {
+    std::printf("  %s\n", s.ToString().c_str());
+  }
+
+  // Without compounds: the split source's author halves match nothing.
+  {
+    mube::NGramJaccard measure(3);
+    mube::SimilarityMatrix matrix(universe, measure);
+    mube::Matcher matcher(universe, matrix);
+    mube::MatchOptions options;
+    options.theta = 0.75;
+    auto result = matcher.Match({0, 1, 2}, options);
+    std::printf("\nwithout compound elements (%zu GAs):\n%s",
+                result.ValueOrDie().schema.size(),
+                result.ValueOrDie().schema.ToString(universe).c_str());
+  }
+
+  // Declare {author first name, author last name} as one compound element
+  // named "author name" and re-run the identical pipeline.
+  mube::CompoundSpec spec;
+  spec.source_id = 1;
+  spec.attr_indices = {0, 1};
+  spec.name = "author name";
+  auto built = mube::CompoundExpansion::Build(universe, {spec});
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const mube::CompoundExpansion& expansion = built.ValueOrDie();
+
+  mube::NGramJaccard measure(3);
+  mube::SimilarityMatrix matrix(expansion.derived(), measure);
+  mube::Matcher matcher(expansion.derived(), matrix);
+  mube::MatchOptions options;
+  options.theta = 0.75;
+  auto result = matcher.Match({0, 1, 2}, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const mube::MediatedSchema& schema = result.ValueOrDie().schema;
+  std::printf("\nwith the compound element (%zu GAs):\n%s", schema.size(),
+              schema.ToString(expansion.derived()).c_str());
+
+  std::printf("\nprojected back to the original schemas (n:m groups):\n");
+  for (const auto& group : expansion.ProjectToOriginal(schema)) {
+    std::printf("  {");
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (i > 0) std::printf(", ");
+      std::printf("%s.%s",
+                  universe.source(group[i].source_id).name().c_str(),
+                  universe.attribute(group[i]).name.c_str());
+    }
+    std::printf("}\n");
+  }
+  return 0;
+}

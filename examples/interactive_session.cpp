@@ -1,0 +1,184 @@
+// A text REPL over mube::Session — the command-line equivalent of the
+// paper's GUI (Figure 4). The defining property of the µBE interface is
+// that the output format (GA lines) doubles as the input constraint
+// format; `show` prints GAs exactly as `ga <line>` accepts them.
+//
+// Usage:  ./interactive_session [catalog.txt]
+//   With no argument, a synthetic 150-source Books universe is used.
+//
+// Commands:
+//   run                      solve with current constraints
+//   show                     print last result (editable format)
+//   pin <source-name>        add a source constraint
+//   unpin <source-id>        remove a source constraint
+//   ga <src.attr, src.attr>  add a GA constraint
+//   adopt <ga-index>         keep GA #i of the last result
+//   clear                    drop all constraints
+//   weights w1 w2 ...        set QEF weights (must sum to 1)
+//   theta <t> | m <k>        set threshold / number of sources
+//   optimizer <name>         tabu | sls | anneal | pso
+//   sources                  list the catalog
+//   save <file> | load <file>  persist / restore the constraint state
+//   help | quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/session.h"
+#include "datagen/generator.h"
+#include "schema/serialization.h"
+
+namespace {
+
+mube::Result<mube::Universe> LoadCatalog(const char* path) {
+  std::ifstream in(path);
+  if (!in) return mube::Status::IoError(std::string("cannot open ") + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return mube::ParseUniverse(buffer.str());
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands: run | show | pin <name> | unpin <id> | ga <line> | "
+      "adopt <i> | clear | weights ... | theta <t> | m <k> | "
+      "optimizer <name> | sources | save <file> | load <file> | "
+      "help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mube::Universe universe;
+  if (argc > 1) {
+    auto loaded = LoadCatalog(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    universe = std::move(loaded).ValueOrDie();
+    std::printf("loaded %zu sources from %s\n", universe.size(), argv[1]);
+  } else {
+    mube::GeneratorConfig gen;
+    gen.num_sources = 150;
+    gen.max_cardinality = 50'000;
+    gen.tuple_pool_size = 500'000;
+    auto generated = mube::GenerateUniverse(gen);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    universe = std::move(generated.ValueOrDie().universe);
+    std::printf("synthesized %zu Books-domain sources\n", universe.size());
+  }
+
+  mube::MubeConfig config = mube::MubeConfig::PaperDefaults();
+  config.max_sources = 15;
+  auto session = mube::Session::Create(&universe, config);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  mube::Session& s = *session.ValueOrDie();
+  PrintHelp();
+
+  std::string line;
+  while (std::printf("mube> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    const std::string_view trimmed = mube::Trim(line);
+    if (trimmed.empty()) continue;
+    std::istringstream in{std::string(trimmed)};
+    std::string cmd;
+    in >> cmd;
+
+    mube::Status status;
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "run") {
+      auto result = s.Iterate();
+      if (!result.ok()) {
+        status = result.status();
+      } else {
+        std::printf("%s", s.RenderLastResult().c_str());
+        std::printf("(%.2fs, %zu subsets matched)\n",
+                    result.ValueOrDie().elapsed_seconds,
+                    result.ValueOrDie().distinct_subsets_matched);
+      }
+    } else if (cmd == "show") {
+      std::printf("%s", s.RenderLastResult().c_str());
+    } else if (cmd == "pin") {
+      std::string name;
+      std::getline(in, name);
+      status = s.PinSource(std::string(mube::Trim(name)));
+    } else if (cmd == "unpin") {
+      uint32_t id = 0;
+      in >> id;
+      status = s.UnpinSource(id);
+    } else if (cmd == "ga") {
+      std::string rest;
+      std::getline(in, rest);
+      status = s.AddGaConstraintFromText(std::string(mube::Trim(rest)));
+    } else if (cmd == "adopt") {
+      size_t index = 0;
+      in >> index;
+      status = s.AdoptGaFromLastResult(index);
+    } else if (cmd == "clear") {
+      s.ClearGaConstraints();
+      s.ClearSourcePins();
+    } else if (cmd == "weights") {
+      std::vector<double> weights;
+      double w;
+      while (in >> w) weights.push_back(w);
+      status = s.SetWeights(weights);
+    } else if (cmd == "theta") {
+      double theta = 0;
+      in >> theta;
+      status = s.SetTheta(theta);
+    } else if (cmd == "m") {
+      size_t m = 0;
+      in >> m;
+      status = s.SetMaxSources(m);
+    } else if (cmd == "optimizer") {
+      std::string name;
+      in >> name;
+      status = s.SetOptimizer(name);
+    } else if (cmd == "save") {
+      std::string path;
+      in >> path;
+      std::ofstream out(path);
+      if (!out) {
+        status = mube::Status::IoError("cannot write " + path);
+      } else {
+        out << s.SaveState();
+        std::printf("saved session state to %s\n", path.c_str());
+      }
+    } else if (cmd == "load") {
+      std::string path;
+      in >> path;
+      std::ifstream file(path);
+      if (!file) {
+        status = mube::Status::IoError("cannot read " + path);
+      } else {
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        status = s.RestoreState(buffer.str());
+        if (status.ok()) std::printf("restored from %s\n", path.c_str());
+      }
+    } else if (cmd == "sources") {
+      for (const mube::Source& src : universe.sources()) {
+        std::printf("  [%u] %s\n", src.id(), src.ToString().c_str());
+      }
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+
+    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+  }
+  return 0;
+}

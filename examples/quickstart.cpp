@@ -1,0 +1,85 @@
+// Quickstart: the shortest useful µBE program.
+//
+// Builds a synthetic Books-domain universe (the paper's §7.1 workload at
+// small scale), asks µBE to pick 10 sources and a mediated schema with the
+// paper's default quality weights, and prints the answer.
+//
+//   ./quickstart [num_sources] [num_to_choose]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/ground_truth.h"
+#include "core/mube.h"
+#include "datagen/generator.h"
+
+int main(int argc, char** argv) {
+  const size_t num_sources = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                      : 120;
+  const size_t num_to_choose = argc > 2 ? std::strtoul(argv[2], nullptr, 10)
+                                        : 10;
+
+  // 1. Describe the universe of candidate sources. Here we synthesize one;
+  //    a real deployment would load source descriptions discovered from a
+  //    hidden-Web search engine (see schema/serialization.h for the text
+  //    catalog format).
+  mube::GeneratorConfig gen;
+  gen.num_sources = num_sources;
+  gen.max_cardinality = 50'000;
+  gen.tuple_pool_size = 400'000;
+  mube::Result<mube::GeneratedUniverse> generated =
+      mube::GenerateUniverse(gen);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const mube::Universe& universe = generated.ValueOrDie().universe;
+  std::printf("universe: %zu sources, %zu attributes\n", universe.size(),
+              universe.total_attribute_count());
+
+  // 2. Configure µBE. PaperDefaults() = matching .25, cardinality .25,
+  //    coverage .20, redundancy .15, MTTF .15; theta 0.75; tabu search.
+  mube::MubeConfig config = mube::MubeConfig::PaperDefaults();
+  config.max_sources = num_to_choose;
+
+  mube::Result<std::unique_ptr<mube::Mube>> engine =
+      mube::Mube::Create(&universe, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "create: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Solve. RunSpec() = no constraints; see books_feedback_loop.cpp for
+  //    the iterative constrained workflow.
+  mube::Result<mube::MubeResult> result =
+      engine.ValueOrDie()->Run(mube::RunSpec());
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const mube::MubeResult& r = result.ValueOrDie();
+
+  std::printf("\nchose %zu sources in %.2fs (Q = %.4f):\n",
+              r.solution.sources.size(), r.elapsed_seconds,
+              r.solution.overall);
+  for (uint32_t sid : r.solution.sources) {
+    std::printf("  %s  (|s| = %llu)\n", universe.source(sid).name().c_str(),
+                static_cast<unsigned long long>(
+                    universe.source(sid).cardinality()));
+  }
+
+  std::printf("\nmediated schema (%zu GAs):\n", r.solution.schema.size());
+  std::printf("%s", r.solution.schema.ToString(universe).c_str());
+
+  std::printf("\nper-QEF quality:\n");
+  for (size_t i = 0; i < r.qef_names.size(); ++i) {
+    std::printf("  %-14s %.4f\n", r.qef_names[i].c_str(),
+                r.solution.qef_values[i]);
+  }
+
+  const mube::GaQualityReport report = mube::ScoreAgainstConcepts(
+      universe, r.solution, generated.ValueOrDie().num_concepts);
+  std::printf("\nvs ground truth: %s\n", report.ToString().c_str());
+  return 0;
+}

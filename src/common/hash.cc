@@ -1,0 +1,49 @@
+#include "common/hash.h"
+
+#include "common/random.h"
+
+namespace mube {
+
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed);
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (Mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+uint64_t SetFingerprint(const std::vector<uint32_t>& ids) {
+  // Sum of mixed elements is commutative, so insertion order is irrelevant.
+  uint64_t fp = 0x51ed270b0a1f2c3dULL;
+  for (uint32_t id : ids) {
+    fp += Mix64(static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL);
+  }
+  return Mix64(fp);
+}
+
+HashFamily::HashFamily(size_t size, uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed ^ 0xa5a5a5a55a5a5a5aULL);
+  multipliers_.reserve(size);
+  addends_.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    multipliers_.push_back(sm.Next() | 1);  // must be odd
+    addends_.push_back(sm.Next());
+  }
+}
+
+uint64_t HashFamily::Hash(size_t i, uint64_t key) const {
+  return Mix64(key * multipliers_[i] + addends_[i]);
+}
+
+}  // namespace mube

@@ -1,0 +1,60 @@
+#ifndef MUBE_COMMON_HASH_H_
+#define MUBE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+/// \file hash.h
+/// 64-bit hashing utilities. The PCSA sketches (src/sketch) require a family
+/// of independent hash functions over tuples; the F1 memoization cache
+/// requires an order-independent fingerprint of source-id sets.
+
+namespace mube {
+
+/// \brief Mixes 64 bits into 64 well-distributed bits (the SplitMix64
+/// finalizer, also known as murmur3's fmix64 variant).
+uint64_t Mix64(uint64_t x);
+
+/// \brief Hashes a byte string to 64 bits (FNV-1a with a strengthening final
+/// mix). Deterministic across platforms and runs.
+uint64_t HashBytes(std::string_view bytes, uint64_t seed = 0);
+
+/// \brief Combines two 64-bit hashes (order-dependent, boost-style).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// \brief Order-independent fingerprint of a set of ids.
+///
+/// Commutative combination (sum of mixed elements) so that the fingerprint of
+/// {3, 1, 5} equals that of {1, 5, 3}. Used to memoize Match(S) results by
+/// source subset.
+uint64_t SetFingerprint(const std::vector<uint32_t>& ids);
+
+/// \brief A family of pairwise-independent 64-bit hash functions.
+///
+/// Each member i maps a 64-bit key through multiply-shift hashing with
+/// per-member odd multipliers derived deterministically from `seed`. The PCSA
+/// sketch uses one member per bitmap (stochastic averaging).
+class HashFamily {
+ public:
+  /// \param size  number of hash functions in the family (>= 1)
+  /// \param seed  determines the whole family; the same (size, seed) pair
+  ///              always produces identical functions, which is what lets
+  ///              independently built source sketches be OR-merged.
+  HashFamily(size_t size, uint64_t seed);
+
+  /// Applies member `i` to `key`. Requires i < size().
+  uint64_t Hash(size_t i, uint64_t key) const;
+
+  size_t size() const { return multipliers_.size(); }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  std::vector<uint64_t> multipliers_;  // odd
+  std::vector<uint64_t> addends_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_COMMON_HASH_H_

@@ -1,0 +1,67 @@
+#ifndef MUBE_COMMON_LOGGING_H_
+#define MUBE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging and assertion macros. Logging goes to stderr and
+/// is filtered by a process-wide level (default kWarning, so library code is
+/// silent in tests and benchmarks unless something is wrong).
+
+namespace mube {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Use via the MUBE_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void DieBecauseCheckFailed(const char* expr, const char* file,
+                                        int line);
+
+}  // namespace internal
+}  // namespace mube
+
+#define MUBE_LOG(level)                                              \
+  if (static_cast<int>(::mube::LogLevel::level) <                    \
+      static_cast<int>(::mube::GetLogLevel())) {                     \
+  } else                                                             \
+    ::mube::internal::LogMessage(::mube::LogLevel::level, __FILE__,  \
+                                 __LINE__)
+
+/// Hard invariant check: aborts with a message when `expr` is false.
+/// Enabled in all build types — these guard programmer errors, not input
+/// validation (input validation returns Status).
+#define MUBE_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mube::internal::DieBecauseCheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                                     \
+  } while (false)
+
+#define MUBE_DCHECK(expr) MUBE_CHECK(expr)
+
+#endif  // MUBE_COMMON_LOGGING_H_

@@ -1,0 +1,115 @@
+#ifndef MUBE_COMMON_RANDOM_H_
+#define MUBE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file random.h
+/// Deterministic, seedable random-number generation and the samplers used by
+/// the paper's synthetic workload (§7.1): Zipf-distributed source
+/// cardinalities and normally distributed MTTF source characteristics.
+///
+/// Every stochastic component of µBE takes an explicit seed so that tests
+/// and benchmark runs reproduce bit-for-bit.
+
+namespace mube {
+
+/// \brief SplitMix64 generator; used to seed other generators and as a
+/// cheap standalone PRNG. Passes BigCrush when used as a 64-bit stream.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** 1.0 — the project's main PRNG.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can drive
+/// <random> distributions, but the samplers below avoid <random> entirely
+/// because libstdc++ distribution outputs are not portable across versions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64 (the
+  /// initialization recommended by the xoshiro authors).
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+  result_type operator()() { return Next(); }
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (no modulo bias).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double Gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement
+  /// (Floyd's algorithm). Requires k <= n. Result is unsorted.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+  uint64_t s_[4];
+};
+
+/// \brief Zipf-distributed sampler over ranks {1, ..., n} with exponent
+/// `skew` (paper §7.1 uses a Zipf distribution for source cardinalities).
+///
+/// Uses a precomputed inverse-CDF table, so sampling is O(log n).
+class ZipfSampler {
+ public:
+  /// \param n     number of ranks (must be >= 1)
+  /// \param skew  Zipf exponent s > 0; larger means more skewed. The
+  ///              classic "Zipf's law" corresponds to s = 1.
+  ZipfSampler(size_t n, double skew);
+
+  /// Returns a rank in [1, n]; rank r has probability ∝ 1 / r^skew.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i + 1)
+};
+
+}  // namespace mube
+
+#endif  // MUBE_COMMON_RANDOM_H_

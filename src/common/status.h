@@ -1,0 +1,165 @@
+#ifndef MUBE_COMMON_STATUS_H_
+#define MUBE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Error-handling primitives for µBE in the Arrow/RocksDB style: fallible
+/// operations return a `Status` (or a `Result<T>` when they also produce a
+/// value) instead of throwing exceptions. A default-constructed `Status` is
+/// OK and carries no allocation.
+
+namespace mube {
+
+/// Machine-readable category of an error carried by a Status.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIoError = 8,
+  kInfeasible = 9,  ///< Optimization/matching problem has no feasible answer.
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: either OK, or a code plus message.
+///
+/// Cheap to pass by value: the OK state is a null pointer; error state is one
+/// heap allocation. Copyable and movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status. `code` must not be kOk; use the default
+  /// constructor (or OK()) for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Infeasible(std::string message) {
+    return Status(StatusCode::kInfeasible, std::move(message));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// The canonical return type for fallible factories:
+/// \code
+///   Result<Universe> u = Universe::FromFile(path);
+///   if (!u.ok()) return u.status();
+///   Use(u.ValueOrDie());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works from a Result-returning function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...;` works. `status` must be an error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The held value; must only be called when ok().
+  const T& ValueOrDie() const& { return value_.value(); }
+  T& ValueOrDie() & { return value_.value(); }
+  T&& ValueOrDie() && { return std::move(value_).value(); }
+
+  /// Moves the value out; must only be called when ok().
+  T MoveValueUnsafe() { return std::move(value_).value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+}  // namespace mube
+
+/// Propagates an error Status out of the enclosing function.
+#define MUBE_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::mube::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error returns the Status,
+/// otherwise moves the value into `lhs`.
+#define MUBE_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) return var.status();               \
+  lhs = var.MoveValueUnsafe()
+
+#define MUBE_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define MUBE_ASSIGN_OR_RETURN_NAME(x, y) MUBE_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define MUBE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MUBE_ASSIGN_OR_RETURN_IMPL(             \
+      MUBE_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+#endif  // MUBE_COMMON_STATUS_H_

@@ -1,0 +1,81 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace mube {
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    out.push_back(static_cast<char>(std::tolower(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  for (const std::string& raw : Split(s, sep)) {
+    std::string_view trimmed = Trim(raw);
+    if (!trimmed.empty()) parts.emplace_back(trimmed);
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string NormalizeAttributeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool pending_space = false;
+  for (unsigned char c : name) {
+    if (std::isalnum(c)) {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace mube

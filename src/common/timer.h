@@ -1,0 +1,35 @@
+#ifndef MUBE_COMMON_TIMER_H_
+#define MUBE_COMMON_TIMER_H_
+
+#include <chrono>
+
+/// \file timer.h
+/// Wall-clock stopwatch used by the benchmark harness and the optimizer's
+/// time-budget stopping rule.
+
+namespace mube {
+
+/// \brief Monotonic stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_COMMON_TIMER_H_

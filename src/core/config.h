@@ -1,0 +1,76 @@
+#ifndef MUBE_CORE_CONFIG_H_
+#define MUBE_CORE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "opt/optimizer.h"
+#include "sketch/pcsa.h"
+
+/// \file config.h
+/// Top-level configuration of a µBE engine: which QEFs participate with
+/// what weights, the matching threshold θ and GA-size bound β, the number
+/// of sources m to select, and which solver to run. The defaults are the
+/// paper's §7.1 experimental setup.
+
+namespace mube {
+
+/// \brief Declares one QEF of the quality function.
+struct QefSpec {
+  enum class Kind {
+    kMatching,        ///< F1 — matching quality via Match(S)
+    kCardinality,     ///< F2
+    kCoverage,        ///< F3
+    kRedundancy,      ///< F4
+    kCharacteristic,  ///< user-defined over a named source characteristic
+  };
+  Kind kind = Kind::kMatching;
+  double weight = 0.0;
+  /// For kCharacteristic only: characteristic name, aggregator name
+  /// ("wsum", "mean", "min", "max"), and orientation.
+  std::string characteristic;
+  std::string aggregator = "wsum";
+  bool invert = false;
+
+  /// Display name matching the constructed Qef's name().
+  std::string DisplayName() const;
+};
+
+/// \brief Engine configuration.
+struct MubeConfig {
+  /// The QEFs and their weights W (must sum to 1).
+  std::vector<QefSpec> qefs;
+  /// Matching threshold θ (paper default 0.75).
+  double theta = 0.75;
+  /// Minimum attributes per non-constraint GA (β).
+  size_t beta = 2;
+  /// Number of sources to select (m).
+  size_t max_sources = 20;
+  /// Attribute similarity measure ("jaccard3" is the paper's prototype;
+  /// "tfidf_cosine" derives its corpus from the universe automatically;
+  /// "a+b" builds an equal-weight composite).
+  std::string similarity_measure = "jaccard3";
+  /// Worker threads for the one-off similarity-matrix build: 0 = hardware
+  /// concurrency, 1 = single-threaded. Bit-identical results either way.
+  unsigned similarity_threads = 0;
+  /// PCSA signature shape shared by all sources.
+  PcsaConfig pcsa;
+  /// Solver: "tabu" (default), "sls", "anneal", "pso", "exhaustive".
+  std::string optimizer = "tabu";
+  OptimizerOptions optimizer_options;
+
+  /// The paper's defaults: matching .25, cardinality .25, coverage .20,
+  /// redundancy .15, MTTF(wsum) .15; θ = 0.75; tabu search.
+  static MubeConfig PaperDefaults();
+
+  /// Checks weights, θ range, and m.
+  Status Validate() const;
+
+  /// Weights in QEF order (convenience for SetWeights-style updates).
+  std::vector<double> Weights() const;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_CORE_CONFIG_H_

@@ -1,0 +1,80 @@
+#include "core/ground_truth.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace mube {
+
+std::string GaQualityReport::ToString() const {
+  return "true_gas=" + std::to_string(true_gas_selected) +
+         " attrs_in_true_gas=" + std::to_string(attributes_in_true_gas) +
+         " missed=" + std::to_string(true_gas_missed) +
+         " false_gas=" + std::to_string(false_gas) +
+         " recoverable=" + std::to_string(recoverable_concepts);
+}
+
+GaQualityReport ScoreAgainstConcepts(const Universe& universe,
+                                     const SolutionEval& solution,
+                                     int32_t num_concepts) {
+  MUBE_CHECK(num_concepts > 0);
+  GaQualityReport report;
+
+  // Which concepts are recoverable from S: expressed by >= 2 distinct
+  // chosen sources (a GA needs at least two attributes from different
+  // sources to witness a matching).
+  std::vector<std::unordered_set<uint32_t>> sources_with_concept(
+      static_cast<size_t>(num_concepts));
+  for (uint32_t sid : solution.sources) {
+    const Source& source = universe.source(sid);
+    for (const Attribute& attr : source.attributes()) {
+      if (attr.concept_id == kNoConcept) continue;
+      MUBE_CHECK(attr.concept_id < num_concepts);
+      sources_with_concept[static_cast<size_t>(attr.concept_id)].insert(sid);
+    }
+  }
+
+  std::vector<bool> recoverable(static_cast<size_t>(num_concepts), false);
+  for (int32_t c = 0; c < num_concepts; ++c) {
+    if (sources_with_concept[static_cast<size_t>(c)].size() >= 2) {
+      recoverable[static_cast<size_t>(c)] = true;
+      ++report.recoverable_concepts;
+    }
+  }
+
+  // Classify each GA: pure (all one concept) or false.
+  std::vector<bool> covered(static_cast<size_t>(num_concepts), false);
+  for (const GlobalAttribute& ga : solution.schema.gas()) {
+    if (ga.size() < 2) continue;  // singleton constraint GAs: no matching
+    int32_t concept_id = kNoConcept;
+    bool pure = true;
+    for (const AttributeRef& ref : ga.members()) {
+      const int32_t c = universe.attribute(ref).concept_id;
+      if (c == kNoConcept) {
+        pure = false;
+        break;
+      }
+      if (concept_id == kNoConcept) {
+        concept_id = c;
+      } else if (concept_id != c) {
+        pure = false;
+        break;
+      }
+    }
+    if (pure && concept_id != kNoConcept && ga.size() >= 2) {
+      covered[static_cast<size_t>(concept_id)] = true;
+      report.attributes_in_true_gas += ga.size();
+    } else {
+      ++report.false_gas;
+    }
+  }
+
+  for (int32_t c = 0; c < num_concepts; ++c) {
+    const size_t idx = static_cast<size_t>(c);
+    if (covered[idx]) ++report.true_gas_selected;
+    if (recoverable[idx] && !covered[idx]) ++report.true_gas_missed;
+  }
+  return report;
+}
+
+}  // namespace mube

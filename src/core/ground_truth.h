@@ -1,0 +1,51 @@
+#ifndef MUBE_CORE_GROUND_TRUTH_H_
+#define MUBE_CORE_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/problem.h"
+#include "schema/universe.h"
+
+/// \file ground_truth.h
+/// Scoring a µBE solution against the generator's ground-truth concept
+/// labels — the measurements behind the paper's Table 1 ("Quality of GAs"):
+/// how many of the domain's true concepts the generated mediated schema
+/// recovers as pure GAs, how many attributes those GAs cover, how many
+/// recoverable concepts were missed, and whether any false (impure) GAs
+/// were produced. Ground truth is evaluation-only: nothing on the µBE
+/// decision path reads concept labels.
+
+namespace mube {
+
+/// \brief Table 1 row for one solution.
+struct GaQualityReport {
+  /// Distinct concepts recovered by at least one *pure* GA (all members
+  /// share one concept label). "True GAs selected".
+  size_t true_gas_selected = 0;
+  /// Total attributes across all pure GAs. "Attributes in true GAs".
+  size_t attributes_in_true_gas = 0;
+  /// Concepts that were recoverable from the chosen sources (expressed by
+  /// >= 2 of them) but not captured by any pure GA. "True GAs missed".
+  size_t true_gas_missed = 0;
+  /// GAs whose members mix concepts or include off-domain attributes —
+  /// the paper reports µBE never produced any.
+  size_t false_gas = 0;
+  /// Concepts expressed by >= 2 chosen sources (the denominator of
+  /// selected + missed).
+  size_t recoverable_concepts = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Scores `solution` against the concept labels in `universe`.
+/// `num_concepts` is the generator's concept count (kBooksConceptCount for
+/// the Books workload).
+GaQualityReport ScoreAgainstConcepts(const Universe& universe,
+                                     const SolutionEval& solution,
+                                     int32_t num_concepts);
+
+}  // namespace mube
+
+#endif  // MUBE_CORE_GROUND_TRUTH_H_

@@ -1,0 +1,184 @@
+#include "core/mube.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "qef/characteristic_qef.h"
+#include "qef/data_qefs.h"
+#include "qef/match_qef.h"
+
+namespace mube {
+
+Mube::Mube(const Universe* universe, MubeConfig config)
+    : universe_(universe), config_(std::move(config)) {}
+
+Result<std::unique_ptr<Mube>> Mube::Create(const Universe* universe,
+                                           MubeConfig config) {
+  if (universe == nullptr || universe->empty()) {
+    return Status::InvalidArgument("Mube: null or empty universe");
+  }
+  MUBE_RETURN_IF_ERROR(config.Validate());
+
+  std::unique_ptr<Mube> mube(new Mube(universe, std::move(config)));
+
+  if (mube->config_.similarity_measure == "tfidf_cosine") {
+    mube->measure_ = TfIdfCosineSimilarity::FromUniverse(*universe);
+  } else {
+    MUBE_ASSIGN_OR_RETURN(
+        mube->measure_, MakeSimilarityMeasure(mube->config_.similarity_measure));
+  }
+  mube->similarity_ = std::make_unique<SimilarityMatrix>(
+      *universe, *mube->measure_, mube->config_.similarity_threads);
+  mube->signatures_ =
+      std::make_unique<SignatureCache>(*universe, mube->config_.pcsa);
+  mube->matcher_ = std::make_unique<Matcher>(*universe, *mube->similarity_);
+  return mube;
+}
+
+Result<MubeResult> Mube::Run(const RunSpec& spec) const {
+  WallTimer timer;
+
+  // Resolve per-run overrides.
+  const double theta = spec.theta.value_or(config_.theta);
+  const size_t max_sources = spec.max_sources.value_or(config_.max_sources);
+  std::vector<double> weights =
+      spec.weights.has_value() ? *spec.weights : config_.Weights();
+  if (weights.size() != config_.qefs.size()) {
+    return Status::InvalidArgument(
+        "RunSpec: weight count does not match configured QEFs");
+  }
+  OptimizerOptions opt_options = config_.optimizer_options;
+  if (spec.seed.has_value()) opt_options.seed = *spec.seed;
+  if (spec.max_evaluations.has_value()) {
+    opt_options.max_evaluations = *spec.max_evaluations;
+    if (opt_options.patience > 0) {
+      opt_options.patience = std::max<size_t>(1, *spec.max_evaluations / 3);
+    }
+  }
+  const std::string optimizer_name =
+      spec.optimizer.value_or(config_.optimizer);
+
+  // Effective source constraints: C plus sources implied by G (§2.4).
+  std::vector<uint32_t> constraints = spec.source_constraints;
+  for (uint32_t sid : spec.ga_constraints.TouchedSources()) {
+    constraints.push_back(sid);
+  }
+  std::sort(constraints.begin(), constraints.end());
+  constraints.erase(std::unique(constraints.begin(), constraints.end()),
+                    constraints.end());
+  for (uint32_t sid : constraints) {
+    if (sid >= universe_->size()) {
+      return Status::InvalidArgument("constraint source id out of range: " +
+                                     std::to_string(sid));
+    }
+  }
+  if (!spec.ga_constraints.IsWellFormed() &&
+      !spec.ga_constraints.empty()) {
+    return Status::InvalidArgument("GA constraints are not well-formed");
+  }
+
+  // Assemble the QEFs. The match QEF is instantiated per run because it
+  // bakes in θ and the constraints; the data QEFs are thin wrappers over
+  // the shared caches.
+  MatchOptions match_options;
+  match_options.theta = theta;
+  match_options.beta = config_.beta;
+  auto match_qef = std::make_unique<MatchQualityQef>(
+      *matcher_, match_options, constraints, spec.ga_constraints);
+  const MatchQualityQef* match_qef_ptr = match_qef.get();
+
+  QefSet qefs;
+  for (size_t i = 0; i < config_.qefs.size(); ++i) {
+    const QefSpec& qspec = config_.qefs[i];
+    std::unique_ptr<Qef> qef;
+    switch (qspec.kind) {
+      case QefSpec::Kind::kMatching:
+        if (match_qef == nullptr) {
+          return Status::InvalidArgument(
+              "MubeConfig: multiple matching QEFs");
+        }
+        qef = std::move(match_qef);
+        break;
+      case QefSpec::Kind::kCardinality:
+        qef = std::make_unique<CardQef>(*universe_);
+        break;
+      case QefSpec::Kind::kCoverage:
+        qef = std::make_unique<CoverageQef>(*universe_, *signatures_);
+        break;
+      case QefSpec::Kind::kRedundancy:
+        qef = std::make_unique<RedundancyQef>(*universe_, *signatures_);
+        break;
+      case QefSpec::Kind::kCharacteristic: {
+        MUBE_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> aggregator,
+                              MakeAggregator(qspec.aggregator));
+        qef = std::make_unique<CharacteristicQef>(
+            *universe_, qspec.characteristic, std::move(aggregator),
+            qspec.invert);
+        break;
+      }
+    }
+    MUBE_RETURN_IF_ERROR(qefs.Add(std::move(qef), weights[i]));
+  }
+  MUBE_RETURN_IF_ERROR(qefs.ValidateWeights());
+
+  Problem problem;
+  problem.universe = universe_;
+  problem.qefs = &qefs;
+  problem.match_qef = match_qef_ptr;
+  problem.effective_constraints = std::move(constraints);
+  problem.max_sources = max_sources;
+  MUBE_RETURN_IF_ERROR(problem.Validate());
+
+  MUBE_ASSIGN_OR_RETURN(std::unique_ptr<Optimizer> optimizer,
+                        MakeOptimizer(optimizer_name, opt_options));
+  MUBE_ASSIGN_OR_RETURN(SolutionEval best, optimizer->Run(problem));
+
+  MubeResult result;
+  result.solution = std::move(best);
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.distinct_subsets_matched = match_qef_ptr->cache_size();
+  for (const QefSpec& qspec : config_.qefs) {
+    result.qef_names.push_back(qspec.DisplayName());
+  }
+  return result;
+}
+
+Result<std::vector<MubeResult>> Mube::RunAlternatives(
+    const RunSpec& spec, size_t attempts) const {
+  if (attempts == 0) {
+    return Status::InvalidArgument("RunAlternatives: attempts must be >= 1");
+  }
+  std::vector<MubeResult> alternatives;
+  std::unordered_set<uint64_t> seen;
+  Status last_error = Status::OK();
+  const uint64_t base_seed =
+      spec.seed.value_or(config_.optimizer_options.seed);
+  for (size_t i = 0; i < attempts; ++i) {
+    RunSpec attempt = spec;
+    attempt.seed = base_seed + i * 0x9e3779b9ULL;
+    Result<MubeResult> result = Run(attempt);
+    if (!result.ok()) {
+      last_error = result.status();
+      continue;
+    }
+    const uint64_t key =
+        SetFingerprint(result.ValueOrDie().solution.sources);
+    if (seen.insert(key).second) {
+      alternatives.push_back(result.MoveValueUnsafe());
+    }
+  }
+  if (alternatives.empty()) {
+    return last_error.ok()
+               ? Status::Infeasible("no attempt found a feasible solution")
+               : last_error;
+  }
+  std::sort(alternatives.begin(), alternatives.end(),
+            [](const MubeResult& a, const MubeResult& b) {
+              return a.solution.overall > b.solution.overall;
+            });
+  return alternatives;
+}
+
+}  // namespace mube

@@ -1,0 +1,103 @@
+#ifndef MUBE_CORE_MUBE_H_
+#define MUBE_CORE_MUBE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "match/matcher.h"
+#include "opt/problem.h"
+#include "schema/mediated_schema.h"
+#include "schema/universe.h"
+#include "sketch/signature_cache.h"
+#include "text/similarity.h"
+#include "text/similarity_matrix.h"
+
+/// \file mube.h
+/// The µBE engine (paper Figure 2): given a universe of source
+/// descriptions, repeatedly solve the user's constrained optimization
+/// problem. Construction performs the one-off heavy lifting — the pairwise
+/// similarity matrix and the per-source PCSA signature cache — after which
+/// each Run() (one µBE iteration) only clusters, sketccaches, and searches.
+
+namespace mube {
+
+/// \brief Per-run user inputs: the constraints C and G, plus optional
+/// overrides of config knobs the user dials between iterations.
+struct RunSpec {
+  /// Source constraints C (ids into the universe). Need not be sorted.
+  std::vector<uint32_t> source_constraints;
+  /// GA constraints G — a partial mediated schema the output must subsume.
+  MediatedSchema ga_constraints;
+  /// Overrides of the engine config for this run (nullopt = use config).
+  std::optional<std::vector<double>> weights;
+  std::optional<double> theta;
+  std::optional<size_t> max_sources;
+  std::optional<uint64_t> seed;
+  std::optional<std::string> optimizer;
+  /// Overrides the optimizer's evaluation budget for this run. Constrained
+  /// problems have smaller neighborhoods ((m − |C|) free slots), so callers
+  /// running comparative sweeps typically scale the budget down with the
+  /// constraint count, as classic full-neighborhood tabu search would.
+  std::optional<size_t> max_evaluations;
+};
+
+/// \brief One µBE answer.
+struct MubeResult {
+  /// The chosen sources S, their mediated schema M, Q(S), and all F_i(S).
+  SolutionEval solution;
+  /// Wall-clock seconds spent inside Run().
+  double elapsed_seconds = 0.0;
+  /// Distinct subsets whose Match(S) was computed (cache misses) — the
+  /// paper's dominant cost driver.
+  size_t distinct_subsets_matched = 0;
+  /// Names of the QEFs, parallel to solution.qef_values.
+  std::vector<std::string> qef_names;
+};
+
+/// \brief The engine. Create once per universe; Run once per iteration.
+class Mube {
+ public:
+  /// Builds the engine: similarity measure + matrix, signature cache,
+  /// matcher. `universe` must outlive the engine.
+  static Result<std::unique_ptr<Mube>> Create(const Universe* universe,
+                                              MubeConfig config);
+
+  Mube(const Mube&) = delete;
+  Mube& operator=(const Mube&) = delete;
+
+  /// Solves one iteration's problem.
+  Result<MubeResult> Run(const RunSpec& spec) const;
+
+  /// Runs a portfolio of `attempts` independently seeded searches and
+  /// returns the distinct solutions found, best first (at most `attempts`,
+  /// fewer after dedup). Exploration aid for the §6 loop: near-optimal
+  /// *alternatives* often differ in interesting ways (a different big
+  /// source, a different variant family), and showing the user several is
+  /// how a best-effort tool earns trust. Fails only if every attempt
+  /// fails; individual infeasible attempts are dropped.
+  Result<std::vector<MubeResult>> RunAlternatives(const RunSpec& spec,
+                                                  size_t attempts) const;
+
+  const Universe& universe() const { return *universe_; }
+  const MubeConfig& config() const { return config_; }
+  const SimilarityMatrix& similarity() const { return *similarity_; }
+  const SignatureCache& signatures() const { return *signatures_; }
+  const Matcher& matcher() const { return *matcher_; }
+
+ private:
+  Mube(const Universe* universe, MubeConfig config);
+
+  const Universe* universe_;
+  MubeConfig config_;
+  std::unique_ptr<SimilarityMeasure> measure_;
+  std::unique_ptr<SimilarityMatrix> similarity_;
+  std::unique_ptr<SignatureCache> signatures_;
+  std::unique_ptr<Matcher> matcher_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_CORE_MUBE_H_

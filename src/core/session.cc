@@ -1,0 +1,285 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "opt/optimizer.h"
+#include "schema/serialization.h"
+
+namespace mube {
+
+Result<std::unique_ptr<Session>> Session::Create(const Universe* universe,
+                                                 MubeConfig config) {
+  MUBE_ASSIGN_OR_RETURN(std::unique_ptr<Mube> mube,
+                        Mube::Create(universe, std::move(config)));
+  return std::unique_ptr<Session>(new Session(std::move(mube)));
+}
+
+Status Session::PinSource(const std::string& name) {
+  std::optional<uint32_t> sid = mube_->universe().FindSource(name);
+  if (!sid.has_value()) {
+    return Status::NotFound("no source named '" + name + "'");
+  }
+  return PinSource(*sid);
+}
+
+Status Session::PinSource(uint32_t source_id) {
+  if (source_id >= mube_->universe().size()) {
+    return Status::InvalidArgument("source id out of range");
+  }
+  auto pos = std::lower_bound(pinned_sources_.begin(), pinned_sources_.end(),
+                              source_id);
+  if (pos != pinned_sources_.end() && *pos == source_id) {
+    return Status::AlreadyExists("source already pinned");
+  }
+  pinned_sources_.insert(pos, source_id);
+  return Status::OK();
+}
+
+Status Session::UnpinSource(uint32_t source_id) {
+  auto pos = std::lower_bound(pinned_sources_.begin(), pinned_sources_.end(),
+                              source_id);
+  if (pos == pinned_sources_.end() || *pos != source_id) {
+    return Status::NotFound("source is not pinned");
+  }
+  pinned_sources_.erase(pos);
+  return Status::OK();
+}
+
+Status Session::AddGaConstraint(GlobalAttribute ga) {
+  if (!ga.IsValid()) {
+    return Status::InvalidArgument("GA constraint is not valid");
+  }
+  for (const AttributeRef& ref : ga.members()) {
+    if (!mube_->universe().Contains(ref)) {
+      return Status::InvalidArgument("GA constraint references unknown " +
+                                     ref.ToString());
+    }
+  }
+  // The combined constraint set must stay a well-formed partial schema.
+  MediatedSchema candidate = ga_constraints_;
+  candidate.Add(std::move(ga));
+  if (!candidate.IsWellFormed()) {
+    return Status::InvalidArgument(
+        "GA constraint overlaps an existing constraint");
+  }
+  ga_constraints_ = std::move(candidate);
+  return Status::OK();
+}
+
+Status Session::AddGaConstraintFromText(const std::string& line) {
+  MUBE_ASSIGN_OR_RETURN(GlobalAttribute ga,
+                        ParseGlobalAttribute(line, mube_->universe()));
+  return AddGaConstraint(std::move(ga));
+}
+
+Status Session::AdoptGaFromLastResult(size_t index) {
+  if (!has_result()) {
+    return Status::FailedPrecondition("no previous result to adopt from");
+  }
+  const MediatedSchema& schema = last_result().solution.schema;
+  if (index >= schema.size()) {
+    return Status::OutOfRange("last result has only " +
+                              std::to_string(schema.size()) + " GAs");
+  }
+  return AddGaConstraint(schema.ga(index));
+}
+
+Status Session::SetWeights(const std::vector<double>& weights) {
+  if (weights.size() != mube_->config().qefs.size()) {
+    return Status::InvalidArgument("weight count mismatch");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || w > 1.0) {
+      return Status::InvalidArgument("weight out of [0,1]");
+    }
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("weights must sum to 1");
+  }
+  weights_ = weights;
+  return Status::OK();
+}
+
+Status Session::SetTheta(double theta) {
+  if (theta < 0.0 || theta > 1.0) {
+    return Status::InvalidArgument("theta must be in [0,1]");
+  }
+  theta_ = theta;
+  return Status::OK();
+}
+
+Status Session::SetMaxSources(size_t max_sources) {
+  if (max_sources == 0) {
+    return Status::InvalidArgument("max_sources must be >= 1");
+  }
+  max_sources_ = max_sources;
+  return Status::OK();
+}
+
+Status Session::SetOptimizer(const std::string& name) {
+  // Validate eagerly so the user learns about a typo now, not at Iterate().
+  OptimizerOptions probe;
+  MUBE_ASSIGN_OR_RETURN(std::unique_ptr<Optimizer> optimizer,
+                        MakeOptimizer(name, probe));
+  (void)optimizer;
+  optimizer_ = name;
+  return Status::OK();
+}
+
+Result<MubeResult> Session::Iterate() {
+  RunSpec spec;
+  spec.source_constraints = pinned_sources_;
+  spec.ga_constraints = ga_constraints_;
+  if (!weights_.empty()) spec.weights = weights_;
+  if (theta_ >= 0.0) spec.theta = theta_;
+  if (max_sources_ > 0) spec.max_sources = max_sources_;
+  if (!optimizer_.empty()) spec.optimizer = optimizer_;
+  // Vary the seed across iterations so re-running the same problem can
+  // escape an unlucky search trajectory, while staying reproducible.
+  spec.seed = seed_ + history_.size();
+
+  MUBE_ASSIGN_OR_RETURN(MubeResult result, mube_->Run(spec));
+  history_.push_back(std::move(result));
+  return history_.back();
+}
+
+std::string Session::RenderLastResult() const {
+  if (!has_result()) return "(no result yet)\n";
+  const MubeResult& result = last_result();
+  const Universe& universe = mube_->universe();
+  std::ostringstream out;
+  out << "== sources (" << result.solution.sources.size() << ") ==\n";
+  for (uint32_t sid : result.solution.sources) {
+    out << "  [" << sid << "] " << universe.source(sid).name() << "\n";
+  }
+  out << "== mediated schema (" << result.solution.schema.size()
+      << " GAs) ==\n";
+  out << SerializeMediatedSchema(result.solution.schema, universe);
+  out << "== quality ==\n";
+  for (size_t i = 0; i < result.qef_names.size(); ++i) {
+    out << "  " << result.qef_names[i] << " = "
+        << result.solution.qef_values[i] << "\n";
+  }
+  out << "  Q(S) = " << result.solution.overall << "\n";
+  return out.str();
+}
+
+std::string Session::SaveState() const {
+  std::ostringstream out;
+  out << "# mube session state v1\n";
+  const Universe& universe = mube_->universe();
+  for (uint32_t sid : pinned_sources_) {
+    out << "pin " << universe.source(sid).name() << "\n";
+  }
+  for (const GlobalAttribute& ga : ga_constraints_.gas()) {
+    out << "ga ";
+    for (size_t i = 0; i < ga.members().size(); ++i) {
+      const AttributeRef& ref = ga.members()[i];
+      if (i > 0) out << ", ";
+      out << universe.source(ref.source_id).name() << "."
+          << universe.attribute(ref).name;
+    }
+    out << "\n";
+  }
+  if (!weights_.empty()) {
+    out << "weights";
+    for (double w : weights_) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), " %.17g", w);
+      out << buf;
+    }
+    out << "\n";
+  }
+  if (theta_ >= 0.0) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "theta %.17g\n", theta_);
+    out << buf;
+  }
+  if (max_sources_ > 0) out << "max_sources " << max_sources_ << "\n";
+  if (!optimizer_.empty()) out << "optimizer " << optimizer_ << "\n";
+  out << "seed " << seed_ << "\n";
+  return out.str();
+}
+
+Status Session::RestoreState(const std::string& blob) {
+  // Stage everything, then commit atomically.
+  std::vector<uint32_t> pins;
+  MediatedSchema gas;
+  std::vector<double> weights;
+  double theta = -1.0;
+  size_t max_sources = 0;
+  std::string optimizer;
+  uint64_t seed = seed_;
+
+  int line_no = 0;
+  for (const std::string& raw : Split(blob, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("session state line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+
+    if (StartsWith(line, "pin ")) {
+      const std::string name(Trim(line.substr(4)));
+      std::optional<uint32_t> sid = mube_->universe().FindSource(name);
+      if (!sid.has_value()) return fail("unknown source '" + name + "'");
+      pins.push_back(*sid);
+    } else if (StartsWith(line, "ga ")) {
+      MUBE_ASSIGN_OR_RETURN(
+          GlobalAttribute ga,
+          ParseGlobalAttribute(line.substr(3), mube_->universe()));
+      gas.Add(std::move(ga));
+    } else if (StartsWith(line, "weights")) {
+      std::istringstream in{std::string(line.substr(7))};
+      double w = 0.0;
+      while (in >> w) weights.push_back(w);
+      if (weights.size() != mube_->config().qefs.size()) {
+        return fail("weight count mismatch");
+      }
+    } else if (StartsWith(line, "theta ")) {
+      try {
+        theta = std::stod(std::string(line.substr(6)));
+      } catch (const std::exception&) {
+        return fail("bad theta");
+      }
+      if (theta < 0.0 || theta > 1.0) return fail("theta out of [0,1]");
+    } else if (StartsWith(line, "max_sources ")) {
+      max_sources = std::strtoull(std::string(line.substr(12)).c_str(),
+                                  nullptr, 10);
+      if (max_sources == 0) return fail("bad max_sources");
+    } else if (StartsWith(line, "optimizer ")) {
+      optimizer = std::string(Trim(line.substr(10)));
+      OptimizerOptions probe;
+      auto made = MakeOptimizer(optimizer, probe);
+      if (!made.ok()) return fail("unknown optimizer '" + optimizer + "'");
+    } else if (StartsWith(line, "seed ")) {
+      seed = std::strtoull(std::string(line.substr(5)).c_str(), nullptr, 10);
+    } else {
+      return fail("unknown directive: " + std::string(line));
+    }
+  }
+  if (!gas.IsWellFormed() && !gas.empty()) {
+    return Status::InvalidArgument(
+        "session state: GA constraints overlap");
+  }
+
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  pinned_sources_ = std::move(pins);
+  ga_constraints_ = std::move(gas);
+  weights_ = std::move(weights);
+  theta_ = theta;
+  max_sources_ = max_sources;
+  optimizer_ = std::move(optimizer);
+  seed_ = seed;
+  return Status::OK();
+}
+
+}  // namespace mube

@@ -1,0 +1,105 @@
+#ifndef MUBE_CORE_SESSION_H_
+#define MUBE_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mube.h"
+
+/// \file session.h
+/// The iterative feedback loop of paper §6: the user runs µBE, inspects the
+/// chosen sources and mediated schema, then *edits the output into the next
+/// iteration's input* — pinning sources, adopting or hand-writing GA
+/// constraints, re-weighting QEFs, moving θ or m — and runs again. Session
+/// is the programmatic embodiment of that loop (the GUI in the paper's
+/// Figure 4 sits on exactly this surface).
+
+namespace mube {
+
+/// \brief Mutable iteration state around a Mube engine.
+class Session {
+ public:
+  /// Builds the engine and an empty constraint state.
+  static Result<std::unique_ptr<Session>> Create(const Universe* universe,
+                                                 MubeConfig config);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// \name Constraint editing (between iterations)
+  /// @{
+  /// Requires source `name`/`id` in the solution (a source constraint).
+  Status PinSource(const std::string& name);
+  Status PinSource(uint32_t source_id);
+  Status UnpinSource(uint32_t source_id);
+  /// Adds a GA constraint. Rejects invalid GAs.
+  Status AddGaConstraint(GlobalAttribute ga);
+  /// Parses "source.attr, source.attr, ..." into a GA constraint.
+  Status AddGaConstraintFromText(const std::string& line);
+  /// Adopts GA `index` of the last result as a constraint — the one-click
+  /// "keep this" gesture of the µBE UI.
+  Status AdoptGaFromLastResult(size_t index);
+  void ClearGaConstraints() { ga_constraints_ = MediatedSchema(); }
+  void ClearSourcePins() { pinned_sources_.clear(); }
+  /// @}
+
+  /// \name Problem knobs
+  /// @{
+  Status SetWeights(const std::vector<double>& weights);
+  Status SetTheta(double theta);
+  Status SetMaxSources(size_t max_sources);
+  void SetSeed(uint64_t seed) { seed_ = seed; }
+  Status SetOptimizer(const std::string& name);
+  /// @}
+
+  /// Runs one µBE iteration with the current constraint state and appends
+  /// the result to history().
+  Result<MubeResult> Iterate();
+
+  /// All iteration results, oldest first.
+  const std::vector<MubeResult>& history() const { return history_; }
+  bool has_result() const { return !history_.empty(); }
+  const MubeResult& last_result() const { return history_.back(); }
+
+  const std::vector<uint32_t>& pinned_sources() const {
+    return pinned_sources_;
+  }
+  const MediatedSchema& ga_constraints() const { return ga_constraints_; }
+  const Mube& engine() const { return *mube_; }
+
+  /// Renders the last result in the editable text format (one GA per line,
+  /// `source.attribute` members) plus a source list — what the UI displays.
+  std::string RenderLastResult() const;
+
+  /// \name Persistence
+  /// The constraint state (pins, GA constraints, knobs) is what encodes
+  /// the user's accumulated domain knowledge — it is worth keeping across
+  /// sessions; results are recomputable and are not saved.
+  /// @{
+  /// Serializes the current constraint state to a line-oriented text blob.
+  std::string SaveState() const;
+  /// Replaces the constraint state with a previously saved blob. On error
+  /// the session is left unchanged. Source/attribute names are re-resolved
+  /// against the current universe, so a catalog that dropped a pinned
+  /// source makes the restore fail loudly rather than silently forget it.
+  Status RestoreState(const std::string& blob);
+  /// @}
+
+ private:
+  explicit Session(std::unique_ptr<Mube> mube) : mube_(std::move(mube)) {}
+
+  std::unique_ptr<Mube> mube_;
+  std::vector<uint32_t> pinned_sources_;  // sorted
+  MediatedSchema ga_constraints_;
+  std::vector<double> weights_;  // empty = config defaults
+  double theta_ = -1.0;          // <0 = config default
+  size_t max_sources_ = 0;       // 0 = config default
+  uint64_t seed_ = 1;
+  std::string optimizer_;  // empty = config default
+  std::vector<MubeResult> history_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_CORE_SESSION_H_

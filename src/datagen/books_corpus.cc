@@ -1,0 +1,74 @@
+#include "datagen/books_corpus.h"
+
+#include "common/logging.h"
+
+namespace mube {
+
+namespace {
+
+std::vector<std::string> BuildOffDomainWords() {
+  // 64 x 64 cross product of words from domains unrelated to the corpora.
+  // Two names from this pool share at most one word, keeping their 3-gram
+  // Jaccard far below any reasonable θ; the generator additionally assigns
+  // pool entries without replacement, so no two noise attributes in one
+  // universe are identical — matching the paper's observation that the
+  // perturbations never produce false GAs.
+  static const char* const kFirst[64] = {
+      "flight",  "engine",   "cargo",    "patient", "billing", "voltage",
+      "network", "payroll",  "mileage",  "weather", "tenant",  "freight",
+      "reactor", "sensor",   "orbit",    "harvest", "vehicle", "circuit",
+      "mortgage", "symptom", "terrain",  "packet",  "battery", "runway",
+      "furnace", "pipeline", "antenna",  "auditor", "docking", "turbine",
+      "chassis", "membrane", "glacier",  "hormone", "invoice", "exhaust",
+      "seismic", "throttle", "bacteria", "customs", "railway", "monsoon",
+      "lattice", "synapse",  "ballast",  "cyclone", "dynamo",  "enzyme",
+      "fuselage", "gearbox", "habitat",  "isotope", "jetstream", "kiln",
+      "lagoon",  "mineral",  "nozzle",   "oxide",   "plasma",  "quarry",
+      "rudder",  "sediment", "tundra",   "vortex"};
+  static const char* const kSecond[64] = {
+      "code",     "ratio",     "index",    "offset",   "phase",
+      "output",   "reading",   "grade",    "factor",   "margin",
+      "depth",    "span",      "torque",   "yield",    "limit",
+      "load",     "rate",      "count",    "level",    "weight",
+      "angle",    "radius",    "density",  "pressure", "velocity",
+      "capacity", "frequency", "duration", "interval", "threshold",
+      "variance", "amplitude", "gradient", "quotient", "residue",
+      "modulus",  "flux",      "drift",    "gain",     "bias",
+      "slope",    "pitch",     "bandwidth", "latency",  "overhead",
+      "quota",    "surplus",   "deficit",  "premium",  "rebate",
+      "tariff",   "levy",      "stipend",  "ledger",   "manifest",
+      "registry", "docket",    "roster",   "quorum",   "mandate",
+      "charter",  "statute",   "clause",   "ordinance"};
+
+  std::vector<std::string> words;
+  words.reserve(64 * 64);
+  for (const char* a : kFirst) {
+    for (const char* b : kSecond) {
+      words.push_back(std::string(a) + " " + b);
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BooksConceptNames() {
+  return BooksDomain().concept_names;
+}
+
+const std::vector<std::string>& BooksConceptVariants(int32_t concept_id) {
+  MUBE_CHECK(concept_id >= 0 && concept_id < kBooksConceptCount);
+  return BooksDomain().variants[static_cast<size_t>(concept_id)];
+}
+
+const std::vector<CorpusSchema>& BooksBaseSchemas() {
+  return BooksDomain().base_schemas;
+}
+
+const std::vector<std::string>& OffDomainWords() {
+  static const auto* const kWords =
+      new std::vector<std::string>(BuildOffDomainWords());
+  return *kWords;
+}
+
+}  // namespace mube

@@ -1,0 +1,45 @@
+#ifndef MUBE_DATAGEN_BOOKS_CORPUS_H_
+#define MUBE_DATAGEN_BOOKS_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/domain.h"
+
+/// \file books_corpus.h
+/// A stand-in for the BAMM/UIUC Web-integration repository's Books domain
+/// (paper §7.1). The real repository holds 50 schemas extracted from web
+/// query interfaces; µBE's experiments use them only through (a) the
+/// attribute-name strings, (b) the 14 distinct ground-truth concepts they
+/// express, and (c) their size distribution. This corpus reproduces those
+/// three properties: 14 concepts, each with several real-world surface-name
+/// variants, combined into 50 deterministic base schemas of 3-8 attributes.
+/// See DESIGN.md §2 for the substitution rationale; the domain-agnostic
+/// corpus machinery (and a second, Jobs, domain) lives in
+/// datagen/domain.h.
+
+namespace mube {
+
+/// Number of distinct domain concepts — the paper counts 14 in the BAMM
+/// Books schemas, and Table 1 scores solutions against them.
+inline constexpr int32_t kBooksConceptCount = 14;
+
+/// Human-readable concept names, indexed by concept id (0..13).
+const std::vector<std::string>& BooksConceptNames();
+
+/// Surface-name variants of one concept ("author" → {"author", "writer",
+/// "author name", ...}). Requires 0 <= concept_id < kBooksConceptCount.
+const std::vector<std::string>& BooksConceptVariants(int32_t concept_id);
+
+/// The 50 deterministic base schemas; always the identical corpus.
+const std::vector<CorpusSchema>& BooksBaseSchemas();
+
+/// Off-domain words used by the perturbation model for added/replacement
+/// attributes ("a list of words unrelated to the Books domain", §7.1).
+/// Shared by every domain — the words are unrelated to all of them.
+const std::vector<std::string>& OffDomainWords();
+
+}  // namespace mube
+
+#endif  // MUBE_DATAGEN_BOOKS_CORPUS_H_

@@ -1,0 +1,137 @@
+#include "datagen/domain.h"
+
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace mube {
+
+namespace internal {
+
+std::vector<CorpusSchema> BuildBaseSchemas(
+    const std::string& host_stem,
+    const std::vector<std::vector<std::string>>& variants,
+    const std::vector<double>& prevalence, size_t count, size_t min_attrs,
+    size_t max_attrs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CorpusSchema> schemas;
+  schemas.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    CorpusSchema schema;
+    char name[96];
+    std::snprintf(name, sizeof(name), "%s%03zu.example.com",
+                  host_stem.c_str(), i);
+    schema.name = name;
+    while (true) {
+      schema.attributes.clear();
+      for (size_t c = 0; c < variants.size(); ++c) {
+        if (!rng.Bernoulli(prevalence[c])) continue;
+        const auto& pool = variants[c];
+        const size_t v = rng.Bernoulli(0.55)
+                             ? 0
+                             : static_cast<size_t>(rng.Uniform(pool.size()));
+        schema.attributes.push_back(
+            CorpusAttribute{static_cast<int32_t>(c), pool[v]});
+      }
+      if (schema.attributes.size() >= min_attrs &&
+          schema.attributes.size() <= max_attrs) {
+        break;
+      }
+    }
+    schemas.push_back(std::move(schema));
+  }
+  return schemas;
+}
+
+}  // namespace internal
+
+const DomainCorpus& BooksDomain() {
+  static const DomainCorpus* const kDomain = [] {
+    auto* domain = new DomainCorpus();
+    domain->name = "books";
+    domain->concept_names = {
+        "title",     "author",    "isbn",            "keyword",
+        "publisher", "price",     "format",          "subject",
+        "year",      "edition",   "language",        "condition",
+        "seller_location",        "availability"};
+    domain->variants = {
+        /* 0 title        */ {"title", "book title", "title of book",
+                              "book name", "exact title"},
+        /* 1 author       */ {"author", "authors", "author name",
+                              "writer", "book author"},
+        /* 2 isbn         */ {"isbn", "isbn number", "isbn code",
+                              "isbn 13"},
+        /* 3 keyword      */ {"keyword", "keywords", "search keywords",
+                              "any keyword"},
+        /* 4 publisher    */ {"publisher", "publishers", "publisher name",
+                              "publishing house"},
+        /* 5 price        */ {"price", "price range", "max price",
+                              "list price"},
+        /* 6 format       */ {"format", "binding", "book format",
+                              "binding type"},
+        /* 7 subject      */ {"subject", "subjects", "category", "genre",
+                              "topic"},
+        /* 8 year         */ {"year", "publication year", "year published",
+                              "pub date"},
+        /* 9 edition      */ {"edition", "editions", "edition number"},
+        /* 10 language    */ {"language", "languages", "book language"},
+        /* 11 condition   */ {"condition", "book condition",
+                              "item condition"},
+        /* 12 seller loc. */ {"seller location", "location", "ships from",
+                              "seller country"},
+        /* 13 availability*/ {"availability", "in stock", "stock status"},
+    };
+    domain->prevalence = {0.80, 0.75, 0.45, 0.70, 0.45, 0.40, 0.30,
+                          0.45, 0.35, 0.25, 0.25, 0.25, 0.25, 0.25};
+    domain->base_schemas = internal::BuildBaseSchemas(
+        "books", domain->variants, domain->prevalence, /*count=*/50,
+        /*min_attrs=*/3, /*max_attrs=*/8, /*seed=*/0xB00C5u);
+    return domain;
+  }();
+  return *kDomain;
+}
+
+const DomainCorpus& JobsDomain() {
+  static const DomainCorpus* const kDomain = [] {
+    auto* domain = new DomainCorpus();
+    domain->name = "jobs";
+    domain->concept_names = {
+        "job_title",  "company",   "location",   "keyword",
+        "salary",     "category",  "experience", "education",
+        "employment_type",         "posted_date", "industry", "remote"};
+    domain->variants = {
+        /* 0 job title  */ {"job title", "job titles", "position title",
+                            "job name"},
+        /* 1 company    */ {"company", "company name", "employer"},
+        /* 2 location   */ {"city", "city or town", "work city",
+                            "metro area"},
+        /* 3 keyword    */ {"keywords", "keyword", "search keywords"},
+        /* 4 salary     */ {"salary", "salary range", "compensation"},
+        /* 5 category   */ {"job category", "occupation",
+                            "occupation group"},
+        /* 6 experience */ {"experience", "years of experience",
+                            "experience level"},
+        /* 7 education  */ {"education", "education level", "degree"},
+        /* 8 type       */ {"job type", "employment type",
+                            "full or part time"},
+        /* 9 posted     */ {"date posted", "posted since", "posting age"},
+        /* 10 industry  */ {"industry", "industries", "sector"},
+        /* 11 remote    */ {"remote", "work from home", "telecommute"},
+    };
+    domain->prevalence = {0.85, 0.55, 0.75, 0.70, 0.45, 0.45,
+                          0.35, 0.30, 0.40, 0.30, 0.35, 0.25};
+    domain->base_schemas = internal::BuildBaseSchemas(
+        "jobs", domain->variants, domain->prevalence, /*count=*/40,
+        /*min_attrs=*/3, /*max_attrs=*/8, /*seed=*/0x10B5u);
+    return domain;
+  }();
+  return *kDomain;
+}
+
+Result<const DomainCorpus*> FindDomain(const std::string& name) {
+  if (name == "books") return &BooksDomain();
+  if (name == "jobs") return &JobsDomain();
+  return Status::NotFound("unknown workload domain: " + name);
+}
+
+}  // namespace mube

@@ -1,0 +1,79 @@
+#ifndef MUBE_DATAGEN_DOMAIN_H_
+#define MUBE_DATAGEN_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file domain.h
+/// Domain corpora for the synthetic workload generator. The paper
+/// evaluates on the BAMM Books domain, but nothing in µBE is
+/// domain-specific; a DomainCorpus packages what the generator needs —
+/// concepts, surface-name variant pools, per-concept prevalence, and a
+/// deterministic set of base schemas — so additional domains (Jobs ships
+/// as a second one) exercise the pipeline's generality.
+
+namespace mube {
+
+/// \brief One attribute of a base schema: a concept and the surface name
+/// this schema uses for it.
+struct CorpusAttribute {
+  int32_t concept_id;
+  std::string name;
+};
+
+/// \brief One base schema of a domain.
+struct CorpusSchema {
+  std::string name;  ///< e.g. "books017.example.com"
+  std::vector<CorpusAttribute> attributes;
+};
+
+/// \brief A complete workload domain.
+struct DomainCorpus {
+  /// Short id: "books", "jobs".
+  std::string name;
+  /// Human-readable concept names, indexed by concept id.
+  std::vector<std::string> concept_names;
+  /// Surface-name variants per concept; entry 0 is canonical. Pools are
+  /// constructed so that (a) same-concept variants either repeat exactly
+  /// across schemas or clear θ = 0.75 under 3-gram Jaccard only for
+  /// near-spellings, and (b) cross-concept pairs stay below θ (checked by
+  /// the test suite) — that is what keeps Table 1's false-GA count at 0.
+  std::vector<std::vector<std::string>> variants;
+  /// P(concept appears in a base schema), indexed by concept id.
+  std::vector<double> prevalence;
+  /// Deterministic base schemas (the "repository snapshot").
+  std::vector<CorpusSchema> base_schemas;
+
+  int32_t concept_count() const {
+    return static_cast<int32_t>(variants.size());
+  }
+};
+
+namespace internal {
+/// Builds `count` base schemas from variant pools: each schema samples
+/// concepts by prevalence and a variant per concept (canonical 55% of the
+/// time), resampling until the size lands in [min_attrs, max_attrs].
+/// Deterministic in `seed`.
+std::vector<CorpusSchema> BuildBaseSchemas(
+    const std::string& host_stem,
+    const std::vector<std::vector<std::string>>& variants,
+    const std::vector<double>& prevalence, size_t count, size_t min_attrs,
+    size_t max_attrs, uint64_t seed);
+}  // namespace internal
+
+/// The paper's Books domain (14 concepts, 50 base schemas).
+const DomainCorpus& BooksDomain();
+
+/// A second domain — job-search query interfaces (12 concepts, 40 base
+/// schemas) — demonstrating domain-independence of the whole pipeline.
+const DomainCorpus& JobsDomain();
+
+/// Looks a domain up by name ("books", "jobs").
+Result<const DomainCorpus*> FindDomain(const std::string& name);
+
+}  // namespace mube
+
+#endif  // MUBE_DATAGEN_DOMAIN_H_

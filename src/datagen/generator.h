@@ -1,0 +1,91 @@
+#ifndef MUBE_DATAGEN_GENERATOR_H_
+#define MUBE_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/universe.h"
+
+/// \file generator.h
+/// Synthetic-universe generator reproducing the experimental setup of paper
+/// §7.1: N sources whose schemas are the 50 Books base schemas plus
+/// perturbed copies; Zipf cardinalities in [10k, 1M]; tuples drawn from a
+/// 4M-tuple pool split into General and Specialty halves (half the sources
+/// are General-only, half mix in a small Specialty slice); and a per-source
+/// MTTF characteristic ~ N(100, 40) days.
+
+namespace mube {
+
+/// \brief All §7.1 parameters, with the paper's values as defaults. Tests
+/// shrink `num_sources` and `tuple_pool_size`; the benchmark harness uses
+/// the defaults.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  size_t num_sources = 700;
+  /// Workload domain ("books" — the paper's, or "jobs"); see
+  /// datagen/domain.h.
+  std::string domain = "books";
+
+  /// \name Schema perturbation
+  /// The first min(num_sources, 50) sources carry the base schemas
+  /// verbatim ("fully conformant" sources, used as source constraints in
+  /// §7.2); the rest are perturbed copies cycling through the bases.
+  /// @{
+  double p_add_attribute = 0.45;     ///< chance to add off-domain attributes
+  size_t max_added_attributes = 2;
+  double p_remove_attribute = 0.45;  ///< chance to drop domain attributes
+  size_t max_removed_attributes = 2;
+  double p_replace_attribute = 0.35;  ///< chance to replace with off-domain
+  size_t max_replaced_attributes = 1;
+  /// Chance that a kept domain attribute is renamed to a sibling variant of
+  /// the same concept (keeps "some of the characteristics of the original
+  /// schemas while having variability").
+  double p_rename_variant = 0.25;
+  /// @}
+
+  /// \name Data
+  /// @{
+  uint64_t min_cardinality = 10'000;
+  uint64_t max_cardinality = 1'000'000;
+  /// Zipf exponent for the cardinality rank distribution.
+  double zipf_skew = 1.0;
+  /// Total distinct tuples; first half General, second half Specialty.
+  uint64_t tuple_pool_size = 4'000'000;
+  /// Specialty tuples mixed into a specialty source ("a small number").
+  uint64_t specialty_tuples_min = 200;
+  uint64_t specialty_tuples_max = 5'000;
+  /// Fraction of sources that cooperate (ship tuple signatures). The
+  /// paper's default setup is fully cooperative; lowering this exercises
+  /// the uncooperative-source fallback.
+  double cooperative_fraction = 1.0;
+  /// When false, no tuple ids are materialized (schemas and cardinalities
+  /// only) — for tests that don't touch coverage/redundancy.
+  bool attach_tuples = true;
+  /// @}
+
+  /// \name Characteristics
+  /// @{
+  double mttf_mean = 100.0;
+  double mttf_stddev = 40.0;
+  /// @}
+
+  Status Validate() const;
+};
+
+/// \brief A generated universe plus the ground truth the evaluation harness
+/// scores against.
+struct GeneratedUniverse {
+  Universe universe;
+  /// Sources whose schema is an unperturbed base schema.
+  std::vector<uint32_t> unperturbed_source_ids;
+  /// Number of distinct domain concepts (14 for books, 12 for jobs).
+  int32_t num_concepts = 0;
+};
+
+/// Generates a universe per `config`. Deterministic in (config, seed).
+Result<GeneratedUniverse> GenerateUniverse(const GeneratorConfig& config);
+
+}  // namespace mube
+
+#endif  // MUBE_DATAGEN_GENERATOR_H_

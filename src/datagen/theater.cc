@@ -1,0 +1,57 @@
+#include "datagen/theater.h"
+
+#include <initializer_list>
+
+#include "common/random.h"
+
+namespace mube {
+
+Universe TheaterUniverse(uint64_t seed) {
+  // Figure 1 of the paper, verbatim.
+  struct Row {
+    const char* name;
+    std::initializer_list<const char*> attrs;
+  };
+  static const Row kRows[] = {
+      {"tonyawards.com", {"keywords"}},
+      {"whatsonstage.com", {"your town"}},
+      {"aceticket.com", {"state", "city", "event", "venue"}},
+      {"canadiantheatre.com", {"phrase", "search term"}},
+      {"londontheatre.co.uk", {"type", "keyword"}},
+      {"mime.info.com", {"search for"}},
+      {"pbs.org",
+       {"program title", "date", "author", "actor", "director", "keyword"}},
+      {"pa.msu.edu", {"keyword"}},
+      {"wstonline.org", {"keyword", "after date", "before date"}},
+      {"officiallondontheatre.co.uk",
+       {"keyword", "after date", "before date"}},
+      {"lastminute.com",
+       {"event name", "event type", "location", "date", "radius"}},
+  };
+
+  Rng rng(seed);
+  Universe universe;
+  for (const Row& row : kRows) {
+    Source source(0, row.name);
+    for (const char* attr : row.attrs) {
+      source.AddAttribute(Attribute(attr));
+    }
+    // Hidden-Web sources don't export data; for the demo each one carries a
+    // synthetic listing set of 2k-40k tuples drawn from a shared pool of
+    // 100k so overlap (redundancy) is realistic.
+    const uint64_t cardinality = 2'000 + rng.Uniform(38'000);
+    std::vector<uint64_t> tuples;
+    tuples.reserve(cardinality);
+    for (uint64_t t = 0; t < cardinality; ++t) {
+      tuples.push_back(rng.Uniform(100'000));
+    }
+    source.SetTuples(std::move(tuples));
+    // A measured latency characteristic (ms): smaller is better, so QEFs
+    // over it should use invert = true.
+    source.characteristics().Set("latency", 80.0 + rng.UniformDouble(0, 400));
+    universe.AddSource(std::move(source));
+  }
+  return universe;
+}
+
+}  // namespace mube

@@ -1,0 +1,22 @@
+#ifndef MUBE_DATAGEN_THEATER_H_
+#define MUBE_DATAGEN_THEATER_H_
+
+#include "schema/universe.h"
+
+/// \file theater.h
+/// The motivating example of the paper's introduction: hidden-Web theater
+/// ticket sources discovered through CompletePlanet.com. The eleven schemas
+/// below are reproduced verbatim from Figure 1. They ship with µBE as a
+/// ready-made demo catalog (see examples/theater_tickets.cpp).
+
+namespace mube {
+
+/// \brief Builds the Figure 1 catalog. Since hidden-Web sources do not
+/// export their data, the sources carry small synthetic tuple sets (seeded
+/// by `seed`) so the data QEFs have something to chew on, plus a measured
+/// "latency" characteristic in milliseconds.
+Universe TheaterUniverse(uint64_t seed = 7);
+
+}  // namespace mube
+
+#endif  // MUBE_DATAGEN_THEATER_H_

@@ -1,0 +1,95 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace mube {
+
+std::string ExecutionResult::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%zu rows from %zu sources (%llu transferred, %llu dups, "
+                "%llu conflicts, %.1f ms sequential / %.1f ms parallel)",
+                records.size(), sources_contacted,
+                static_cast<unsigned long long>(tuples_transferred),
+                static_cast<unsigned long long>(duplicates_merged),
+                static_cast<unsigned long long>(conflicts), total_cost_ms,
+                parallel_latency_ms);
+  return buf;
+}
+
+MediatedExecutor::MediatedExecutor(const Universe& universe,
+                                   std::vector<uint32_t> sources,
+                                   MediatedSchema schema,
+                                   CostModel cost_model)
+    : universe_(universe),
+      sources_(std::move(sources)),
+      schema_(std::move(schema)) {
+  engines_.reserve(sources_.size());
+  for (uint32_t sid : sources_) {
+    engines_.emplace_back(universe_, sid, schema_, cost_model);
+  }
+}
+
+MediatedExecutor::MediatedExecutor(const Universe& universe,
+                                   const SolutionEval& solution,
+                                   CostModel cost_model)
+    : MediatedExecutor(universe, solution.sources, solution.schema,
+                       cost_model) {}
+
+Result<ExecutionResult> MediatedExecutor::Execute(const Query& query) const {
+  MUBE_RETURN_IF_ERROR(query.Validate(schema_));
+
+  ExecutionResult result;
+  // Merge by tuple id as scans arrive.
+  std::unordered_map<uint64_t, size_t> row_of;
+
+  for (const SourceEngine& engine : engines_) {
+    if (!engine.CanAnswer(query)) continue;
+    ++result.sources_contacted;
+    // Per-source limits stay off: the global limit applies after merging,
+    // and a source-side cut could starve tuples another source lacks.
+    Query unlimited = query;
+    unlimited.limit = 0;
+    SourceScanResult scan = engine.Execute(unlimited);
+    result.tuples_scanned += scan.tuples_scanned;
+    result.tuples_transferred += scan.records.size();
+    result.total_cost_ms += scan.cost_ms;
+    result.parallel_latency_ms =
+        std::max(result.parallel_latency_ms, scan.cost_ms);
+
+    for (MediatedRecord& record : scan.records) {
+      auto [it, inserted] =
+          row_of.try_emplace(record.tuple_id, result.records.size());
+      if (inserted) {
+        result.records.push_back(std::move(record));
+        continue;
+      }
+      // Duplicate: merge into the existing row.
+      ++result.duplicates_merged;
+      MediatedRecord& merged = result.records[it->second];
+      merged.provenance.push_back(record.provenance.front());
+      for (size_t g = 0; g < merged.ga_values.size(); ++g) {
+        if (!record.ga_values[g].has_value()) continue;
+        if (!merged.ga_values[g].has_value()) {
+          merged.ga_values[g] = record.ga_values[g];  // fill a gap
+        } else if (*merged.ga_values[g] != *record.ga_values[g]) {
+          // Two sources disagree: the GA mixes concepts (or the sources
+          // genuinely conflict). First writer wins; flag the row.
+          if (!merged.has_conflict) {
+            merged.has_conflict = true;
+            ++result.conflicts;
+          }
+        }
+      }
+    }
+  }
+
+  if (query.limit > 0 && result.records.size() > query.limit) {
+    result.records.resize(query.limit);
+  }
+  return result;
+}
+
+}  // namespace mube

@@ -1,0 +1,78 @@
+#ifndef MUBE_EXEC_EXECUTOR_H_
+#define MUBE_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/query.h"
+#include "exec/source_engine.h"
+#include "opt/problem.h"
+#include "schema/universe.h"
+
+/// \file executor.h
+/// The mediated query executor: the downstream system a µBE solution
+/// *becomes*. Fans a conjunctive selection out to the selected sources that
+/// can answer it, merges duplicate tuples across sources (same tuple id =>
+/// same real-world entity, by construction of the virtual data layer),
+/// detects value conflicts (the run-time symptom of impure GAs), and
+/// accounts costs — making the paper's source-selection tradeoffs
+/// (coverage vs redundancy vs cost, §1/§4) measurable on actual queries.
+
+namespace mube {
+
+/// \brief Aggregate outcome of one mediated query.
+struct ExecutionResult {
+  std::vector<MediatedRecord> records;
+  /// Sources that could evaluate all predicates and were contacted.
+  size_t sources_contacted = 0;
+  /// Total tuples scanned across contacted sources.
+  uint64_t tuples_scanned = 0;
+  /// Tuples returned by sources before duplicate merging.
+  uint64_t tuples_transferred = 0;
+  /// Duplicates merged away (transferred − distinct): pure overhead, the
+  /// cost the Redundancy QEF exists to minimize.
+  uint64_t duplicates_merged = 0;
+  /// Rows where two sources disagreed on a GA value.
+  uint64_t conflicts = 0;
+  /// Simulated cost if sources are contacted sequentially (Σ per-source).
+  double total_cost_ms = 0.0;
+  /// Simulated latency if contacted in parallel (max per-source).
+  double parallel_latency_ms = 0.0;
+
+  std::string Summary() const;
+};
+
+/// \brief Executes mediated queries over one µBE solution.
+class MediatedExecutor {
+ public:
+  /// \param universe  the catalog (must outlive the executor)
+  /// \param sources   the selected sources S
+  /// \param schema    their mediated schema M
+  MediatedExecutor(const Universe& universe,
+                   std::vector<uint32_t> sources, MediatedSchema schema,
+                   CostModel cost_model = {});
+
+  /// Convenience: wraps a solved SolutionEval.
+  MediatedExecutor(const Universe& universe, const SolutionEval& solution,
+                   CostModel cost_model = {});
+
+  /// Runs `query`: validates it, contacts every selected source that can
+  /// answer, merges duplicates by tuple id (first value wins per GA;
+  /// disagreements set has_conflict), applies the limit after merging.
+  Result<ExecutionResult> Execute(const Query& query) const;
+
+  const MediatedSchema& schema() const { return schema_; }
+  const std::vector<uint32_t>& sources() const { return sources_; }
+
+ private:
+  const Universe& universe_;
+  std::vector<uint32_t> sources_;
+  MediatedSchema schema_;
+  std::vector<SourceEngine> engines_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_EXEC_EXECUTOR_H_

@@ -1,0 +1,76 @@
+#include "exec/query.h"
+
+#include <set>
+
+namespace mube {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Predicate::Matches(uint64_t field_value) const {
+  switch (op) {
+    case CompareOp::kEq:
+      return field_value == value;
+    case CompareOp::kNe:
+      return field_value != value;
+    case CompareOp::kLt:
+      return field_value < value;
+    case CompareOp::kLe:
+      return field_value <= value;
+    case CompareOp::kGt:
+      return field_value > value;
+    case CompareOp::kGe:
+      return field_value >= value;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  return "ga" + std::to_string(ga_index) + " " + CompareOpToString(op) +
+         " " + std::to_string(value);
+}
+
+Status Query::Validate(const MediatedSchema& schema) const {
+  std::set<size_t> seen;
+  for (const Predicate& p : predicates) {
+    if (p.ga_index >= schema.size()) {
+      return Status::InvalidArgument(
+          "predicate references GA " + std::to_string(p.ga_index) +
+          " but the schema has " + std::to_string(schema.size()) + " GAs");
+    }
+    if (!seen.insert(p.ga_index).second) {
+      return Status::InvalidArgument(
+          "two predicates on the same GA are not supported (conjunctive "
+          "selections use one range per column)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString() const {
+  if (predicates.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += predicates[i].ToString();
+  }
+  if (limit > 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+}  // namespace mube

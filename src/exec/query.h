@@ -1,0 +1,63 @@
+#ifndef MUBE_EXEC_QUERY_H_
+#define MUBE_EXEC_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/mediated_schema.h"
+
+/// \file query.h
+/// Conjunctive selection queries over a mediated schema. A query predicate
+/// references a GA by its index in the solution's MediatedSchema — the GAs
+/// are the (unnamed) columns of the integration system, exactly as §2.2
+/// defines them.
+
+namespace mube {
+
+/// Comparison operator of one predicate.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// \brief One predicate: `GA <op> value`.
+struct Predicate {
+  size_t ga_index = 0;
+  CompareOp op = CompareOp::kEq;
+  uint64_t value = 0;
+
+  /// Applies the operator.
+  bool Matches(uint64_t field_value) const;
+
+  std::string ToString() const;
+};
+
+/// \brief A conjunctive selection over the mediated schema.
+struct Query {
+  std::vector<Predicate> predicates;
+  /// 0 = unlimited.
+  size_t limit = 0;
+
+  /// All predicate GA indexes valid for `schema`, no duplicate GA indexes.
+  Status Validate(const MediatedSchema& schema) const;
+
+  std::string ToString() const;
+};
+
+/// \brief One mediated-schema answer row: the surviving tuple and its
+/// values for every GA (nullopt where no contacted source exposes the GA).
+struct MediatedRecord {
+  uint64_t tuple_id = 0;
+  std::vector<std::optional<uint64_t>> ga_values;
+  /// Sources that contributed this tuple (duplicates merged).
+  std::vector<uint32_t> provenance;
+  /// True when two sources disagreed on some GA value for this tuple —
+  /// the observable symptom of an impure GA (mixed concepts).
+  bool has_conflict = false;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_EXEC_QUERY_H_

@@ -1,0 +1,100 @@
+#include "exec/source_engine.h"
+
+#include "common/logging.h"
+#include "exec/virtual_data.h"
+
+namespace mube {
+
+SourceEngine::SourceEngine(const Universe& universe, uint32_t source_id,
+                           const MediatedSchema& schema,
+                           CostModel cost_model)
+    : universe_(universe),
+      source_id_(source_id),
+      cost_model_(cost_model) {
+  MUBE_CHECK(source_id < universe.size());
+  const Source& source = universe.source(source_id);
+
+  ga_to_attr_.assign(schema.size(), std::nullopt);
+  for (size_t g = 0; g < schema.size(); ++g) {
+    for (const AttributeRef& ref : schema.ga(g).members()) {
+      if (ref.source_id == source_id) {
+        ga_to_attr_[g] = ref.attr_index;
+        break;  // a valid GA has at most one attribute per source
+      }
+    }
+  }
+
+  semantic_keys_.reserve(source.attribute_count());
+  for (const Attribute& attribute : source.attributes()) {
+    semantic_keys_.push_back(SemanticKey(attribute));
+  }
+}
+
+std::optional<uint32_t> SourceEngine::LocalAttributeFor(
+    size_t ga_index) const {
+  if (ga_index >= ga_to_attr_.size()) return std::nullopt;
+  return ga_to_attr_[ga_index];
+}
+
+bool SourceEngine::CanAnswer(const Query& query) const {
+  for (const Predicate& p : query.predicates) {
+    if (p.ga_index >= ga_to_attr_.size() ||
+        !ga_to_attr_[p.ga_index].has_value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SourceScanResult SourceEngine::Execute(const Query& query) const {
+  MUBE_CHECK(CanAnswer(query));
+  const Source& source = universe_.source(source_id_);
+
+  SourceScanResult result;
+  result.cost_ms = source.characteristics()
+                       .Get("latency")
+                       .value_or(cost_model_.default_latency_ms);
+  if (!source.has_tuples()) return result;  // schema-only source
+
+  // Resolve predicates to (semantic key, predicate) pairs once.
+  struct LocalPredicate {
+    uint64_t semantic_key;
+    const Predicate* predicate;
+  };
+  std::vector<LocalPredicate> local;
+  local.reserve(query.predicates.size());
+  for (const Predicate& p : query.predicates) {
+    local.push_back({semantic_keys_[*ga_to_attr_[p.ga_index]], &p});
+  }
+
+  for (uint64_t tuple : source.tuples()) {
+    ++result.tuples_scanned;
+    bool matches = true;
+    for (const LocalPredicate& lp : local) {
+      if (!lp.predicate->Matches(FieldValue(tuple, lp.semantic_key))) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) continue;
+
+    MediatedRecord record;
+    record.tuple_id = tuple;
+    record.provenance.push_back(source_id_);
+    record.ga_values.resize(ga_to_attr_.size());
+    for (size_t g = 0; g < ga_to_attr_.size(); ++g) {
+      if (ga_to_attr_[g].has_value()) {
+        record.ga_values[g] =
+            FieldValue(tuple, semantic_keys_[*ga_to_attr_[g]]);
+      }
+    }
+    result.records.push_back(std::move(record));
+    if (query.limit > 0 && result.records.size() >= query.limit) break;
+  }
+
+  result.cost_ms += cost_model_.transfer_ms_per_tuple *
+                    static_cast<double>(result.records.size());
+  return result;
+}
+
+}  // namespace mube

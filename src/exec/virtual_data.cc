@@ -1,0 +1,20 @@
+#include "exec/virtual_data.h"
+
+#include "common/hash.h"
+
+namespace mube {
+
+uint64_t SemanticKey(const Attribute& attribute) {
+  if (attribute.concept_id != kNoConcept) {
+    // Concept-keyed: all attributes expressing concept c agree.
+    return Mix64(0xC0CEB7ULL ^ static_cast<uint64_t>(attribute.concept_id));
+  }
+  return HashBytes(attribute.normalized, 0x4E01D'0F'F'EULL);
+}
+
+uint64_t FieldValue(uint64_t tuple_id, uint64_t semantic_key,
+                    uint64_t domain_size) {
+  return Mix64(tuple_id ^ Mix64(semantic_key)) % domain_size;
+}
+
+}  // namespace mube

@@ -1,0 +1,39 @@
+#ifndef MUBE_EXEC_VIRTUAL_DATA_H_
+#define MUBE_EXEC_VIRTUAL_DATA_H_
+
+#include <cstdint>
+
+#include "schema/attribute.h"
+
+/// \file virtual_data.h
+/// Deterministic synthetic field values for the query-execution layer.
+///
+/// The selection/mediation pipeline only ever needs tuple *identities*
+/// (PCSA hashes them), so sources store opaque 64-bit tuple ids. The query
+/// executor, however, needs field values to filter on. Rather than
+/// materializing payloads, values are derived on demand as a pure function
+/// of (tuple id, semantic key): the same tuple exposes the *same* value for
+/// the same concept at every source that holds it — which is exactly the
+/// property that makes cross-source duplicate merging meaningful, and makes
+/// *impure* GAs (attributes of different concepts matched together)
+/// observable as value conflicts at query time.
+
+namespace mube {
+
+/// \brief Value domain for one semantic key: values are integers in
+/// [0, domain_size), skew-free.
+inline constexpr uint64_t kDefaultValueDomain = 1024;
+
+/// \brief Semantic key of an attribute: concept-labeled attributes share
+/// the key across sources (same concept => same field), unlabeled (noise)
+/// attributes get a per-name key.
+uint64_t SemanticKey(const Attribute& attribute);
+
+/// \brief The value of field `semantic_key` of tuple `tuple_id`.
+/// Deterministic, uniform over [0, domain_size).
+uint64_t FieldValue(uint64_t tuple_id, uint64_t semantic_key,
+                    uint64_t domain_size = kDefaultValueDomain);
+
+}  // namespace mube
+
+#endif  // MUBE_EXEC_VIRTUAL_DATA_H_

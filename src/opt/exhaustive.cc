@@ -1,0 +1,77 @@
+#include "opt/exhaustive.h"
+
+#include <algorithm>
+
+#include "opt/search_util.h"
+#include "schema/universe.h"
+
+namespace mube {
+
+namespace {
+/// C(n, k) with saturation at 2^63 to avoid overflow on silly inputs.
+uint64_t BinomialSaturating(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    const uint64_t numer = n - k + i;
+    if (result > (uint64_t{1} << 62) / numer) return uint64_t{1} << 63;
+    result = result * numer / i;
+  }
+  return result;
+}
+}  // namespace
+
+Result<SolutionEval> ExhaustiveSearch::Run(const Problem& problem) {
+  MUBE_RETURN_IF_ERROR(problem.Validate());
+  const size_t target = problem.TargetSize();
+  const size_t n = problem.universe->size();
+
+  // Free choices: sources not already pinned by constraints.
+  std::vector<uint32_t> free_sources;
+  for (uint32_t sid = 0; sid < n; ++sid) {
+    if (!IsConstrained(problem, sid)) free_sources.push_back(sid);
+  }
+  const size_t slots = target - problem.effective_constraints.size();
+  const uint64_t count = BinomialSaturating(free_sources.size(), slots);
+  if (count > options_.max_subsets) {
+    return Status::InvalidArgument(
+        "exhaustive search over " + std::to_string(count) +
+        " subsets exceeds the safety cap; use a metaheuristic");
+  }
+
+  SolutionEval best;
+  // Standard lexicographic k-combination walk over free_sources.
+  std::vector<size_t> idx(slots);
+  for (size_t i = 0; i < slots; ++i) idx[i] = i;
+  bool more = slots <= free_sources.size();
+  if (slots == 0) {
+    best = EvaluateSolution(problem, problem.effective_constraints);
+    more = false;
+  }
+  while (more) {
+    std::vector<uint32_t> subset = problem.effective_constraints;
+    for (size_t i : idx) subset.push_back(free_sources[i]);
+    SolutionEval eval = EvaluateSolution(problem, std::move(subset));
+    if (eval.feasible && (!best.feasible || eval.overall > best.overall)) {
+      best = std::move(eval);
+    }
+    // Advance the combination.
+    more = false;
+    for (size_t i = slots; i-- > 0;) {
+      if (idx[i] < free_sources.size() - slots + i) {
+        ++idx[i];
+        for (size_t j = i + 1; j < slots; ++j) idx[j] = idx[j - 1] + 1;
+        more = true;
+        break;
+      }
+    }
+  }
+
+  if (!best.feasible) {
+    return Status::Infeasible("no feasible subset exists at this size");
+  }
+  return best;
+}
+
+}  // namespace mube

@@ -1,0 +1,34 @@
+#ifndef MUBE_OPT_EXHAUSTIVE_H_
+#define MUBE_OPT_EXHAUSTIVE_H_
+
+#include "opt/optimizer.h"
+
+/// \file exhaustive.h
+/// Exact enumeration of all subsets of the target size containing the
+/// constraints. Exponential — usable only for tiny universes — but it is
+/// the ground-truth oracle the integration tests compare the
+/// metaheuristics against.
+
+namespace mube {
+
+struct ExhaustiveOptions {
+  /// Refuse instances with more than this many candidate subsets, to keep
+  /// an accidental invocation on a big universe from hanging forever.
+  uint64_t max_subsets = 2'000'000;
+};
+
+class ExhaustiveSearch : public Optimizer {
+ public:
+  explicit ExhaustiveSearch(const ExhaustiveOptions& options = {})
+      : options_(options) {}
+
+  Result<SolutionEval> Run(const Problem& problem) override;
+  std::string name() const override { return "exhaustive"; }
+
+ private:
+  ExhaustiveOptions options_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_OPT_EXHAUSTIVE_H_

@@ -1,0 +1,54 @@
+#include "opt/greedy_baseline.h"
+
+#include <algorithm>
+
+#include "opt/search_util.h"
+#include "schema/universe.h"
+
+namespace mube {
+
+Result<SolutionEval> GreedyPerSourceBaseline::Run(const Problem& problem) {
+  MUBE_RETURN_IF_ERROR(problem.Validate());
+  const size_t n = problem.universe->size();
+  const size_t target = problem.TargetSize();
+
+  // Score every free source in isolation. Note the deliberate flaw being
+  // modeled: Q({s}) cannot see redundancy with other picks, and the
+  // matching QEF of a singleton is always 0 (no pairs) — exactly the
+  // information a per-source ranker does not have.
+  struct Scored {
+    uint32_t source_id;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(n);
+  for (uint32_t sid = 0; sid < n; ++sid) {
+    if (IsConstrained(problem, sid)) continue;
+    // The singleton may be infeasible under source constraints; score the
+    // QEFs directly rather than through EvaluateSolution's feasibility
+    // gate — a per-source ranker has no notion of joint feasibility.
+    const double score = problem.qefs->OverallQuality({sid});
+    scored.push_back(Scored{sid, score});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.source_id < b.source_id;
+            });
+
+  std::vector<uint32_t> chosen = problem.effective_constraints;
+  for (const Scored& s : scored) {
+    if (chosen.size() >= target) break;
+    chosen.push_back(s.source_id);
+  }
+
+  SolutionEval eval = EvaluateSolution(problem, std::move(chosen));
+  if (!eval.feasible) {
+    return Status::Infeasible(
+        "greedy per-source selection produced an infeasible set (its "
+        "defining weakness: it cannot reason about joint constraints)");
+  }
+  return eval;
+}
+
+}  // namespace mube

@@ -1,0 +1,54 @@
+#include "opt/local_search.h"
+
+#include "common/random.h"
+#include "opt/search_util.h"
+
+namespace mube {
+
+Result<SolutionEval> StochasticLocalSearch::Run(const Problem& problem) {
+  MUBE_RETURN_IF_ERROR(problem.Validate());
+  Rng rng(options_.common.seed);
+
+  MUBE_ASSIGN_OR_RETURN(std::vector<uint32_t> start,
+                        RandomFeasibleSubset(problem, &rng));
+  SolutionEval current = EvaluateSolution(problem, start);
+  SolutionEval best = current;
+
+  size_t stalled = 0;
+  size_t since_improvement = 0;
+  for (size_t evaluations = 1;
+       evaluations < options_.common.max_evaluations; ++evaluations) {
+    SwapMove move{};
+    if (!SampleSwap(problem, current.sources, &rng, &move)) break;
+    SolutionEval neighbor =
+        EvaluateSolution(problem, ApplySwap(current.sources, move));
+
+    if (neighbor.overall > current.overall) {
+      current = std::move(neighbor);
+      stalled = 0;
+    } else if (++stalled >= options_.stall_limit) {
+      // Restart: hill climbing is stuck on a local maximum.
+      auto restart = RandomFeasibleSubset(problem, &rng);
+      if (!restart.ok()) break;
+      current = EvaluateSolution(problem, restart.MoveValueUnsafe());
+      ++evaluations;
+      stalled = 0;
+    }
+
+    if (current.feasible && current.overall > best.overall) {
+      best = current;
+      since_improvement = 0;
+    } else if (options_.common.patience > 0 &&
+               ++since_improvement > options_.common.patience) {
+      break;
+    }
+  }
+
+  if (!best.feasible) {
+    return Status::Infeasible(
+        "stochastic local search found no feasible solution");
+  }
+  return best;
+}
+
+}  // namespace mube

@@ -1,0 +1,35 @@
+#ifndef MUBE_OPT_LOCAL_SEARCH_H_
+#define MUBE_OPT_LOCAL_SEARCH_H_
+
+#include "opt/optimizer.h"
+
+/// \file local_search.h
+/// Stochastic local search with random restarts — the simplest of the
+/// paper's compared solvers (§6). First-improvement hill climbing on swap
+/// moves; when `stall_limit` consecutive proposals fail to improve, restart
+/// from a fresh random feasible subset. The incumbent across restarts is
+/// returned.
+
+namespace mube {
+
+struct LocalSearchOptions {
+  OptimizerOptions common;
+  /// Consecutive non-improving proposals before a restart.
+  size_t stall_limit = 160;
+};
+
+class StochasticLocalSearch : public Optimizer {
+ public:
+  explicit StochasticLocalSearch(const LocalSearchOptions& options)
+      : options_(options) {}
+
+  Result<SolutionEval> Run(const Problem& problem) override;
+  std::string name() const override { return "sls"; }
+
+ private:
+  LocalSearchOptions options_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_OPT_LOCAL_SEARCH_H_

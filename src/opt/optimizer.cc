@@ -1,0 +1,43 @@
+#include "opt/optimizer.h"
+
+#include "opt/exhaustive.h"
+#include "opt/greedy_baseline.h"
+#include "opt/local_search.h"
+#include "opt/particle_swarm.h"
+#include "opt/simulated_annealing.h"
+#include "opt/tabu_search.h"
+
+namespace mube {
+
+Result<std::unique_ptr<Optimizer>> MakeOptimizer(
+    const std::string& name, const OptimizerOptions& options) {
+  if (name == "tabu") {
+    TabuSearchOptions o;
+    o.common = options;
+    return std::unique_ptr<Optimizer>(new TabuSearch(o));
+  }
+  if (name == "sls") {
+    LocalSearchOptions o;
+    o.common = options;
+    return std::unique_ptr<Optimizer>(new StochasticLocalSearch(o));
+  }
+  if (name == "anneal") {
+    SimulatedAnnealingOptions o;
+    o.common = options;
+    return std::unique_ptr<Optimizer>(new SimulatedAnnealing(o));
+  }
+  if (name == "pso") {
+    ParticleSwarmOptions o;
+    o.common = options;
+    return std::unique_ptr<Optimizer>(new BinaryParticleSwarm(o));
+  }
+  if (name == "exhaustive") {
+    return std::unique_ptr<Optimizer>(new ExhaustiveSearch());
+  }
+  if (name == "greedy_per_source") {
+    return std::unique_ptr<Optimizer>(new GreedyPerSourceBaseline());
+  }
+  return Status::NotFound("unknown optimizer: " + name);
+}
+
+}  // namespace mube

@@ -1,0 +1,55 @@
+#ifndef MUBE_OPT_OPTIMIZER_H_
+#define MUBE_OPT_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "opt/problem.h"
+
+/// \file optimizer.h
+/// Solver interface for the µBE optimization problem. The paper evaluated
+/// stochastic local search, particle swarm optimization, constrained
+/// simulated annealing, and tabu search, and found tabu search most robust
+/// (§6, §7); all four are provided, behind one interface, so the
+/// optimizer_comparison bench can reproduce that ablation.
+
+namespace mube {
+
+/// \brief Common knobs; algorithm-specific parameters live in each
+/// implementation's own options struct.
+struct OptimizerOptions {
+  /// PRNG seed; identical (problem, options, seed) triples reproduce runs
+  /// exactly.
+  uint64_t seed = 1;
+  /// Total solution evaluations the optimizer may spend. All four
+  /// algorithms meter themselves on evaluations, which makes cross-
+  /// algorithm comparisons budget-fair.
+  size_t max_evaluations = 12000;
+  /// Stop early after this many consecutive evaluations without improving
+  /// the incumbent (0 = disabled).
+  size_t patience = 4000;
+};
+
+/// \brief Interface of all solvers.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Solves `problem`. Returns Infeasible when no feasible solution exists
+  /// (or none was found — metaheuristics cannot distinguish the two; the
+  /// message says which constraint failed when it is provable).
+  virtual Result<SolutionEval> Run(const Problem& problem) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Instantiates an optimizer by name with default algorithm
+/// parameters: "tabu" (µBE's default), "sls", "anneal", "pso",
+/// "exhaustive" (oracle), "greedy_per_source" (baseline).
+Result<std::unique_ptr<Optimizer>> MakeOptimizer(
+    const std::string& name, const OptimizerOptions& options);
+
+}  // namespace mube
+
+#endif  // MUBE_OPT_OPTIMIZER_H_

@@ -1,0 +1,145 @@
+#include "opt/particle_swarm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "opt/search_util.h"
+#include "schema/universe.h"
+
+namespace mube {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Forces constraints in and resizes the membership set to exactly
+/// `target`, preferring sources with higher velocity when padding and lower
+/// velocity when trimming.
+std::vector<uint32_t> Repair(const Problem& problem,
+                             std::vector<char>* membership,
+                             const std::vector<double>& velocity,
+                             size_t target, Rng* rng) {
+  const size_t n = membership->size();
+  for (uint32_t sid : problem.effective_constraints) (*membership)[sid] = 1;
+
+  std::vector<uint32_t> in;
+  std::vector<uint32_t> out;
+  for (uint32_t sid = 0; sid < n; ++sid) {
+    ((*membership)[sid] ? in : out).push_back(sid);
+  }
+
+  auto velocity_less = [&](uint32_t a, uint32_t b) {
+    if (velocity[a] != velocity[b]) return velocity[a] < velocity[b];
+    return a < b;
+  };
+
+  while (in.size() > target) {
+    // Trim the member with the least desire to be in (skip constraints).
+    size_t victim_pos = in.size();
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (IsConstrained(problem, in[i])) continue;
+      if (victim_pos == in.size() || velocity_less(in[i], in[victim_pos])) {
+        victim_pos = i;
+      }
+    }
+    if (victim_pos == in.size()) break;  // everything pinned
+    (*membership)[in[victim_pos]] = 0;
+    in.erase(in.begin() + victim_pos);
+  }
+  while (in.size() < target && !out.empty()) {
+    // Pad with the non-member with the highest velocity; random tie-break
+    // keeps early swarms diverse when all velocities start at 0.
+    size_t pick = 0;
+    for (size_t i = 1; i < out.size(); ++i) {
+      if (velocity_less(out[pick], out[i])) pick = i;
+    }
+    if (velocity[out[pick]] == 0.0) pick = rng->Uniform(out.size());
+    (*membership)[out[pick]] = 1;
+    in.push_back(out[pick]);
+    out.erase(out.begin() + pick);
+  }
+  std::sort(in.begin(), in.end());
+  return in;
+}
+
+}  // namespace
+
+Result<SolutionEval> BinaryParticleSwarm::Run(const Problem& problem) {
+  MUBE_RETURN_IF_ERROR(problem.Validate());
+  Rng rng(options_.common.seed);
+  const size_t n = problem.universe->size();
+  const size_t target = problem.TargetSize();
+
+  struct Particle {
+    std::vector<char> position;    // membership bitvector
+    std::vector<double> velocity;  // per-source desire
+    std::vector<uint32_t> subset;  // repaired position
+    SolutionEval personal_best;
+  };
+
+  std::vector<Particle> swarm(options_.swarm_size);
+  SolutionEval global_best;
+  size_t evaluations = 0;
+
+  for (Particle& p : swarm) {
+    p.position.assign(n, 0);
+    p.velocity.assign(n, 0.0);
+    MUBE_ASSIGN_OR_RETURN(std::vector<uint32_t> start,
+                          RandomFeasibleSubset(problem, &rng));
+    for (uint32_t sid : start) p.position[sid] = 1;
+    p.subset = std::move(start);
+    p.personal_best = EvaluateSolution(problem, p.subset);
+    ++evaluations;
+    if (p.personal_best.feasible &&
+        p.personal_best.overall > global_best.overall) {
+      global_best = p.personal_best;
+    }
+  }
+
+  size_t since_improvement = 0;
+  while (evaluations < options_.common.max_evaluations) {
+    for (Particle& p : swarm) {
+      if (evaluations >= options_.common.max_evaluations) break;
+      // Velocity update toward personal and global bests.
+      std::vector<char> pbest(n, 0), gbest(n, 0);
+      for (uint32_t sid : p.personal_best.sources) pbest[sid] = 1;
+      for (uint32_t sid : global_best.sources) gbest[sid] = 1;
+      for (size_t d = 0; d < n; ++d) {
+        const double r1 = rng.UniformDouble();
+        const double r2 = rng.UniformDouble();
+        double v = options_.inertia * p.velocity[d] +
+                   options_.cognitive * r1 * (pbest[d] - p.position[d]) +
+                   options_.social * r2 * (gbest[d] - p.position[d]);
+        p.velocity[d] =
+            std::clamp(v, -options_.max_velocity, options_.max_velocity);
+      }
+      // Stochastic position re-sampling through the sigmoid.
+      for (size_t d = 0; d < n; ++d) {
+        p.position[d] = rng.UniformDouble() < Sigmoid(p.velocity[d]) ? 1 : 0;
+      }
+      p.subset = Repair(problem, &p.position, p.velocity, target, &rng);
+
+      SolutionEval eval = EvaluateSolution(problem, p.subset);
+      ++evaluations;
+      if (eval.feasible && eval.overall > p.personal_best.overall) {
+        p.personal_best = eval;
+      }
+      if (eval.feasible && eval.overall > global_best.overall) {
+        global_best = std::move(eval);
+        since_improvement = 0;
+      } else if (options_.common.patience > 0 &&
+                 ++since_improvement > options_.common.patience) {
+        evaluations = options_.common.max_evaluations;
+        break;
+      }
+    }
+  }
+
+  if (!global_best.feasible) {
+    return Status::Infeasible("particle swarm found no feasible solution");
+  }
+  return global_best;
+}
+
+}  // namespace mube

@@ -1,0 +1,40 @@
+#ifndef MUBE_OPT_PARTICLE_SWARM_H_
+#define MUBE_OPT_PARTICLE_SWARM_H_
+
+#include "opt/optimizer.h"
+
+/// \file particle_swarm.h
+/// Binary particle swarm optimization (Kennedy & Eberhart's discrete PSO) —
+/// another solver the paper compared against tabu search (§6). Each
+/// particle's position is a source-membership bitvector; velocities update
+/// toward personal and global bests; positions are re-sampled through a
+/// sigmoid of the velocity, then *repaired* to feasibility: constraint
+/// sources forced in, and the subset trimmed/padded to the target size by
+/// velocity preference.
+
+namespace mube {
+
+struct ParticleSwarmOptions {
+  OptimizerOptions common;
+  size_t swarm_size = 24;
+  double inertia = 0.72;
+  double cognitive = 1.5;  ///< pull toward the particle's personal best
+  double social = 1.5;     ///< pull toward the swarm's global best
+  double max_velocity = 4.0;
+};
+
+class BinaryParticleSwarm : public Optimizer {
+ public:
+  explicit BinaryParticleSwarm(const ParticleSwarmOptions& options)
+      : options_(options) {}
+
+  Result<SolutionEval> Run(const Problem& problem) override;
+  std::string name() const override { return "pso"; }
+
+ private:
+  ParticleSwarmOptions options_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_OPT_PARTICLE_SWARM_H_

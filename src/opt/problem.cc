@@ -1,0 +1,88 @@
+#include "opt/problem.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "schema/universe.h"
+
+namespace mube {
+
+Status Problem::Validate() const {
+  if (universe == nullptr || qefs == nullptr || match_qef == nullptr) {
+    return Status::InvalidArgument("Problem: null universe/qefs/match_qef");
+  }
+  if (qefs->size() == 0) {
+    return Status::InvalidArgument("Problem: empty QEF set");
+  }
+  MUBE_RETURN_IF_ERROR(qefs->ValidateWeights());
+  if (max_sources == 0) {
+    return Status::InvalidArgument("Problem: max_sources (m) must be >= 1");
+  }
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t sid : effective_constraints) {
+    if (sid >= universe->size()) {
+      return Status::InvalidArgument("Problem: constraint source " +
+                                     std::to_string(sid) + " out of range");
+    }
+    if (!seen.insert(sid).second) {
+      return Status::InvalidArgument("Problem: duplicate constraint source " +
+                                     std::to_string(sid));
+    }
+  }
+  if (effective_constraints.size() > max_sources) {
+    return Status::Infeasible(
+        "Problem: " + std::to_string(effective_constraints.size()) +
+        " constrained sources exceed m = " + std::to_string(max_sources));
+  }
+  if (!std::is_sorted(effective_constraints.begin(),
+                      effective_constraints.end())) {
+    return Status::InvalidArgument(
+        "Problem: effective_constraints must be sorted");
+  }
+  return Status::OK();
+}
+
+size_t Problem::TargetSize() const {
+  return std::min(max_sources, universe->size());
+}
+
+std::string SolutionEval::Summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Q=%.4f |S|=%zu |M|=%zu%s", overall,
+                sources.size(), schema.size(),
+                feasible ? "" : " (infeasible)");
+  return buf;
+}
+
+SolutionEval EvaluateSolution(const Problem& problem,
+                              std::vector<uint32_t> source_ids) {
+  SolutionEval eval;
+  std::sort(source_ids.begin(), source_ids.end());
+  source_ids.erase(std::unique(source_ids.begin(), source_ids.end()),
+                   source_ids.end());
+  eval.sources = std::move(source_ids);
+
+  // Subset-level feasibility: size bound and C ⊆ S.
+  if (eval.sources.size() > problem.max_sources) return eval;
+  if (!std::includes(eval.sources.begin(), eval.sources.end(),
+                     problem.effective_constraints.begin(),
+                     problem.effective_constraints.end())) {
+    return eval;
+  }
+
+  // Schema-level feasibility comes from Match(S) (θ, β, G, validity on C).
+  const MatchResult& match = problem.match_qef->MatchFor(eval.sources);
+  if (!match.feasible) return eval;
+
+  eval.feasible = true;
+  eval.schema = match.schema;
+  eval.qef_values = problem.qefs->EvaluateAll(eval.sources);
+  eval.overall = 0.0;
+  for (size_t i = 0; i < eval.qef_values.size(); ++i) {
+    eval.overall += problem.qefs->weight(i) * eval.qef_values[i];
+  }
+  return eval;
+}
+
+}  // namespace mube

@@ -1,0 +1,80 @@
+#ifndef MUBE_OPT_PROBLEM_H_
+#define MUBE_OPT_PROBLEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "qef/match_qef.h"
+#include "qef/qef.h"
+#include "schema/mediated_schema.h"
+
+/// \file problem.h
+/// The constrained optimization problem of paper §2.5:
+///
+///   Given U, F, W, C, G, find  arg max_{S ⊆ U} Q(S) = Σ w_i F_i(S)
+///   subject to |S| ≤ m, C ⊆ S, G ⊑ M,
+///              ∀g ∈ (M−G): F1({g}) ≥ θ ∧ |g| ≥ β.
+///
+/// The θ/β/G constraints are enforced *inside* Match(S) (they constrain the
+/// schema, not the subset), so at this layer feasibility of a subset S is:
+/// |S| ≤ m, effective-C ⊆ S, and Match(S) is feasible. "Effective C" is the
+/// user's C plus the sources implicitly required by GA constraints (§2.4).
+///
+/// The experiments select exactly m sources ("choose 20 sources from a
+/// universe of ..."), so the optimizers search the |S| = min(m, N) slice of
+/// the feasible region; Evaluate() itself accepts any feasible size.
+
+namespace mube {
+
+class Universe;
+
+/// \brief A fully-specified problem instance. Non-owning: the universe,
+/// QEFs and matcher must outlive it. Build one per µBE iteration.
+struct Problem {
+  const Universe* universe = nullptr;
+  /// All QEFs with their weights; entry `match_qef_index` must be the
+  /// MatchQualityQef aliased by `match_qef`.
+  const QefSet* qefs = nullptr;
+  const MatchQualityQef* match_qef = nullptr;
+  /// C ∪ sources touched by G, sorted, deduplicated.
+  std::vector<uint32_t> effective_constraints;
+  /// m — the number of sources to select.
+  size_t max_sources = 0;
+
+  /// Sanity-checks the instance: pointers set, weights valid, constraints
+  /// within range and not exceeding m, match QEF consistent.
+  Status Validate() const;
+
+  /// Exact solution size the optimizers search: min(m, N).
+  size_t TargetSize() const;
+};
+
+/// \brief A scored solution: the subset, its mediated schema, and all
+/// quality values.
+struct SolutionEval {
+  /// Selected source ids, sorted ascending.
+  std::vector<uint32_t> sources;
+  /// False when the subset violates a constraint or Match(S) found no
+  /// schema satisfying θ and C; `overall` is then 0.
+  bool feasible = false;
+  /// Q(S).
+  double overall = 0.0;
+  /// F_i(S) in QefSet order.
+  std::vector<double> qef_values;
+  /// The generated mediated schema M.
+  MediatedSchema schema;
+
+  /// Human-readable one-line summary ("Q=0.713 |S|=20 |M|=11").
+  std::string Summary() const;
+};
+
+/// \brief Scores one subset against the problem. `source_ids` may be in any
+/// order; the result's `sources` are sorted.
+SolutionEval EvaluateSolution(const Problem& problem,
+                              std::vector<uint32_t> source_ids);
+
+}  // namespace mube
+
+#endif  // MUBE_OPT_PROBLEM_H_

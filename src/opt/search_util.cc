@@ -1,0 +1,78 @@
+#include "opt/search_util.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "schema/universe.h"
+
+namespace mube {
+
+Result<std::vector<uint32_t>> RandomFeasibleSubset(const Problem& problem,
+                                                   Rng* rng) {
+  const size_t n = problem.universe->size();
+  const size_t target = problem.TargetSize();
+  if (problem.effective_constraints.size() > target) {
+    return Status::Infeasible("more constrained sources than slots");
+  }
+  std::vector<uint32_t> solution = problem.effective_constraints;
+  // Rejection-sample the free slots; constraint sets are small relative to
+  // U in every realistic instance.
+  std::vector<bool> taken(n, false);
+  for (uint32_t sid : solution) taken[sid] = true;
+  while (solution.size() < target) {
+    const uint32_t candidate = static_cast<uint32_t>(rng->Uniform(n));
+    if (taken[candidate]) continue;
+    taken[candidate] = true;
+    solution.push_back(candidate);
+  }
+  std::sort(solution.begin(), solution.end());
+  return solution;
+}
+
+bool IsConstrained(const Problem& problem, uint32_t source_id) {
+  return std::binary_search(problem.effective_constraints.begin(),
+                            problem.effective_constraints.end(), source_id);
+}
+
+bool SampleSwap(const Problem& problem,
+                const std::vector<uint32_t>& solution, Rng* rng,
+                SwapMove* move) {
+  const size_t n = problem.universe->size();
+  if (solution.size() >= n) return false;  // nothing outside S to add
+
+  // Droppable members: anything not constrained.
+  const size_t constrained = problem.effective_constraints.size();
+  if (solution.size() <= constrained) return false;  // all members pinned
+
+  // Sample the member to drop among free members.
+  uint32_t drop = 0;
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    drop = solution[rng->Uniform(solution.size())];
+    if (!IsConstrained(problem, drop)) break;
+    if (attempts == 63) return false;  // pathologically constrained
+  }
+
+  // Sample the source to add among non-members.
+  uint32_t add = 0;
+  do {
+    add = static_cast<uint32_t>(rng->Uniform(n));
+  } while (std::binary_search(solution.begin(), solution.end(), add));
+
+  move->drop = drop;
+  move->add = add;
+  return true;
+}
+
+std::vector<uint32_t> ApplySwap(const std::vector<uint32_t>& solution,
+                                const SwapMove& move) {
+  std::vector<uint32_t> next;
+  next.reserve(solution.size());
+  for (uint32_t sid : solution) {
+    if (sid != move.drop) next.push_back(sid);
+  }
+  auto pos = std::lower_bound(next.begin(), next.end(), move.add);
+  next.insert(pos, move.add);
+  return next;
+}
+
+}  // namespace mube

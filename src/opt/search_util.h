@@ -1,0 +1,48 @@
+#ifndef MUBE_OPT_SEARCH_UTIL_H_
+#define MUBE_OPT_SEARCH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "opt/problem.h"
+
+/// \file search_util.h
+/// Shared neighborhood machinery for the metaheuristics. All optimizers walk
+/// the space of subsets of size exactly TargetSize() that contain the
+/// effective constraints; the elementary move is a *swap* (drop one free
+/// member, add one non-member), which preserves both invariants. Constraint
+/// sources are never proposed for removal — this is the "permanently tabu
+/// region" device the paper describes in §6.
+
+namespace mube {
+
+/// \brief One swap move.
+struct SwapMove {
+  uint32_t drop = 0;  ///< member leaving S (never a constraint source)
+  uint32_t add = 0;   ///< non-member entering S
+};
+
+/// \brief Uniformly random feasible starting solution: the effective
+/// constraints plus random fill to the target size.
+Result<std::vector<uint32_t>> RandomFeasibleSubset(const Problem& problem,
+                                                   Rng* rng);
+
+/// \brief Samples a random swap for `solution`. Returns false when no swap
+/// exists (all members constrained, or S already covers U).
+bool SampleSwap(const Problem& problem,
+                const std::vector<uint32_t>& solution, Rng* rng,
+                SwapMove* move);
+
+/// \brief Applies a swap, returning the new sorted subset.
+std::vector<uint32_t> ApplySwap(const std::vector<uint32_t>& solution,
+                                const SwapMove& move);
+
+/// \brief True iff `source_id` is one of the problem's effective
+/// constraints (binary search).
+bool IsConstrained(const Problem& problem, uint32_t source_id);
+
+}  // namespace mube
+
+#endif  // MUBE_OPT_SEARCH_UTIL_H_

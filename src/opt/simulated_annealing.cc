@@ -1,0 +1,52 @@
+#include "opt/simulated_annealing.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "opt/search_util.h"
+
+namespace mube {
+
+Result<SolutionEval> SimulatedAnnealing::Run(const Problem& problem) {
+  MUBE_RETURN_IF_ERROR(problem.Validate());
+  Rng rng(options_.common.seed);
+
+  MUBE_ASSIGN_OR_RETURN(std::vector<uint32_t> start,
+                        RandomFeasibleSubset(problem, &rng));
+  SolutionEval current = EvaluateSolution(problem, start);
+  SolutionEval best = current;
+
+  double temperature = options_.initial_temperature;
+  size_t since_improvement = 0;
+
+  for (size_t evaluations = 1;
+       evaluations < options_.common.max_evaluations; ++evaluations) {
+    SwapMove move{};
+    if (!SampleSwap(problem, current.sources, &rng, &move)) break;
+    SolutionEval neighbor =
+        EvaluateSolution(problem, ApplySwap(current.sources, move));
+
+    const double delta = neighbor.overall - current.overall;
+    const bool accept =
+        delta >= 0.0 || rng.UniformDouble() < std::exp(delta / temperature);
+    if (accept) current = std::move(neighbor);
+
+    if (current.feasible && current.overall > best.overall) {
+      best = current;
+      since_improvement = 0;
+    } else if (options_.common.patience > 0 &&
+               ++since_improvement > options_.common.patience) {
+      break;
+    }
+
+    temperature =
+        std::max(options_.min_temperature, temperature * options_.cooling);
+  }
+
+  if (!best.feasible) {
+    return Status::Infeasible("simulated annealing found no feasible solution");
+  }
+  return best;
+}
+
+}  // namespace mube

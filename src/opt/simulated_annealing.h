@@ -1,0 +1,39 @@
+#ifndef MUBE_OPT_SIMULATED_ANNEALING_H_
+#define MUBE_OPT_SIMULATED_ANNEALING_H_
+
+#include "opt/optimizer.h"
+
+/// \file simulated_annealing.h
+/// Constrained simulated annealing — one of the alternatives the paper
+/// compared against tabu search (§6). Swap-move proposals with Metropolis
+/// acceptance on ΔQ; constraints are handled by construction (constraint
+/// sources are never swapped out) and infeasible subsets score Q = 0, so
+/// the chain drifts away from them as temperature drops.
+
+namespace mube {
+
+struct SimulatedAnnealingOptions {
+  OptimizerOptions common;
+  /// Initial temperature, on the scale of Q ∈ [0, 1].
+  double initial_temperature = 0.08;
+  /// Geometric cooling factor applied per evaluation.
+  double cooling = 0.9995;
+  /// Floor temperature (keeps late-stage exploration alive).
+  double min_temperature = 1e-4;
+};
+
+class SimulatedAnnealing : public Optimizer {
+ public:
+  explicit SimulatedAnnealing(const SimulatedAnnealingOptions& options)
+      : options_(options) {}
+
+  Result<SolutionEval> Run(const Problem& problem) override;
+  std::string name() const override { return "anneal"; }
+
+ private:
+  SimulatedAnnealingOptions options_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_OPT_SIMULATED_ANNEALING_H_

@@ -1,0 +1,114 @@
+#include "opt/tabu_search.h"
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "opt/search_util.h"
+#include "schema/universe.h"
+
+namespace mube {
+
+Result<SolutionEval> TabuSearch::Run(const Problem& problem) {
+  MUBE_RETURN_IF_ERROR(problem.Validate());
+  Rng rng(options_.common.seed);
+
+  MUBE_ASSIGN_OR_RETURN(std::vector<uint32_t> current,
+                        RandomFeasibleSubset(problem, &rng));
+  SolutionEval current_eval = EvaluateSolution(problem, current);
+  SolutionEval best = current_eval;
+
+  const size_t tenure = options_.tenure > 0
+                            ? options_.tenure
+                            : problem.TargetSize() / 3 + 2;
+
+  // source id -> first iteration at which touching it is allowed again.
+  std::unordered_map<uint32_t, size_t> tabu_until;
+  auto is_tabu = [&](uint32_t sid, size_t iteration) {
+    auto it = tabu_until.find(sid);
+    return it != tabu_until.end() && it->second > iteration;
+  };
+
+  size_t evaluations = 1;
+  size_t since_improvement = 0;
+  size_t since_intensification = 0;
+  for (size_t iteration = 0;
+       evaluations < options_.common.max_evaluations; ++iteration) {
+    // Intensification: a long unproductive excursion is abandoned and the
+    // search re-centers on the incumbent with fresh memory.
+    if (options_.intensify_after > 0 &&
+        since_intensification > options_.intensify_after) {
+      current_eval = best;
+      tabu_until.clear();
+      since_intensification = 0;
+    }
+    // Sample a candidate neighborhood and keep the best admissible move.
+    bool have_move = false;
+    SwapMove best_move{};
+    SolutionEval best_neighbor;
+    for (size_t k = 0; k < options_.neighbors_per_iteration &&
+                       evaluations < options_.common.max_evaluations;
+         ++k) {
+      SwapMove move{};
+      if (!SampleSwap(problem, current_eval.sources, &rng, &move)) break;
+      SolutionEval neighbor =
+          EvaluateSolution(problem, ApplySwap(current_eval.sources, move));
+      ++evaluations;
+
+      const bool tabu =
+          is_tabu(move.add, iteration) || is_tabu(move.drop, iteration);
+      // Aspiration: a tabu move is admissible if it beats the incumbent.
+      if (tabu && !(neighbor.feasible && neighbor.overall > best.overall)) {
+        continue;
+      }
+      if (!have_move || neighbor.overall > best_neighbor.overall) {
+        have_move = true;
+        best_move = move;
+        best_neighbor = std::move(neighbor);
+      }
+      // First-improvement shortcut: an admissible uphill move is taken
+      // immediately — sampling more candidates would only spend budget the
+      // hill-climbing phase doesn't need. The full sample (and the forced
+      // best-of-sample move) only matters on plateaus and descents, where
+      // the tabu memory earns its keep.
+      if (have_move && best_neighbor.overall > current_eval.overall) break;
+    }
+    if (!have_move) {
+      // Whole sample was tabu or no swap exists; age the memory and retry.
+      ++since_improvement;
+      ++since_intensification;
+      if (options_.common.patience > 0 &&
+          since_improvement > options_.common.patience) {
+        break;
+      }
+      continue;
+    }
+
+    // Tabu search moves to the best neighbor even when it is worse — that
+    // is what lets it escape local maxima; the memory prevents cycling.
+    current_eval = std::move(best_neighbor);
+    tabu_until[best_move.drop] = iteration + tenure;  // don't re-add soon
+    tabu_until[best_move.add] = iteration + tenure;   // don't re-drop soon
+
+    if (current_eval.feasible && current_eval.overall > best.overall) {
+      best = current_eval;
+      since_improvement = 0;
+      since_intensification = 0;
+    } else {
+      since_improvement += options_.neighbors_per_iteration;
+      since_intensification += options_.neighbors_per_iteration;
+      if (options_.common.patience > 0 &&
+          since_improvement > options_.common.patience) {
+        break;
+      }
+    }
+  }
+
+  if (!best.feasible) {
+    return Status::Infeasible(
+        "tabu search found no feasible solution (theta too high or "
+        "constraints unsatisfiable?)");
+  }
+  return best;
+}
+
+}  // namespace mube

@@ -1,0 +1,43 @@
+#ifndef MUBE_OPT_TABU_SEARCH_H_
+#define MUBE_OPT_TABU_SEARCH_H_
+
+#include "opt/optimizer.h"
+
+/// \file tabu_search.h
+/// Tabu search (Glover & Laguna) — µBE's default solver. Attribute-based
+/// recency memory: after swapping source `a` out and `b` in, re-adding `a`
+/// and dropping `b` are tabu for `tenure` iterations. The aspiration
+/// criterion admits a tabu move that would beat the incumbent. Constraint
+/// sources form a permanently tabu region (they are simply never proposed
+/// for removal, see search_util).
+
+namespace mube {
+
+struct TabuSearchOptions {
+  OptimizerOptions common;
+  /// Iterations a touched source stays tabu. 0 means auto: ≈ |S|/3 + 2.
+  size_t tenure = 0;
+  /// Candidate swaps sampled and evaluated per iteration (an improving
+  /// candidate short-circuits the scan, see tabu_search.cc).
+  size_t neighbors_per_iteration = 48;
+  /// Intensification: after this many evaluations without improving the
+  /// incumbent, jump back to the incumbent and clear the recency memory,
+  /// restarting exploration around the best-known solution. 0 disables.
+  size_t intensify_after = 400;
+};
+
+class TabuSearch : public Optimizer {
+ public:
+  explicit TabuSearch(const TabuSearchOptions& options)
+      : options_(options) {}
+
+  Result<SolutionEval> Run(const Problem& problem) override;
+  std::string name() const override { return "tabu"; }
+
+ private:
+  TabuSearchOptions options_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_OPT_TABU_SEARCH_H_

@@ -1,0 +1,67 @@
+#include "qef/data_qefs.h"
+
+#include <algorithm>
+
+#include "schema/universe.h"
+
+namespace mube {
+
+CardQef::CardQef(const Universe& universe) : universe_(universe) {}
+
+uint64_t CardQef::RawCardinality(
+    const std::vector<uint32_t>& source_ids) const {
+  uint64_t total = 0;
+  for (uint32_t sid : source_ids) total += universe_.source(sid).cardinality();
+  return total;
+}
+
+double CardQef::Evaluate(const std::vector<uint32_t>& source_ids) const {
+  const uint64_t denom = universe_.total_cardinality();
+  if (denom == 0) return 0.0;
+  return static_cast<double>(RawCardinality(source_ids)) /
+         static_cast<double>(denom);
+}
+
+CoverageQef::CoverageQef(const Universe& universe,
+                         const SignatureCache& cache)
+    : universe_(universe), cache_(cache) {}
+
+double CoverageQef::Evaluate(const std::vector<uint32_t>& source_ids) const {
+  const double denom = cache_.EstimateUniverseUnion();
+  if (denom <= 0.0) return 0.0;
+  const double covered = cache_.EstimateUnion(source_ids);
+  // PCSA estimates of a subset can exceed the universe estimate by sketch
+  // noise; clamp so the QEF contract (range [0,1]) holds exactly.
+  return std::min(1.0, covered / denom);
+}
+
+RedundancyQef::RedundancyQef(const Universe& universe,
+                             const SignatureCache& cache)
+    : universe_(universe), cache_(cache) {}
+
+double RedundancyQef::Evaluate(
+    const std::vector<uint32_t>& source_ids) const {
+  // Only cooperative sources participate: an uncooperative source provides
+  // no signature, so its overlap with anything is unknowable.
+  std::vector<uint32_t> cooperative;
+  uint64_t sum_cardinality = 0;
+  cooperative.reserve(source_ids.size());
+  for (uint32_t sid : source_ids) {
+    if (cache_.IsCooperative(sid)) {
+      cooperative.push_back(sid);
+      sum_cardinality += universe_.source(sid).cardinality();
+    }
+  }
+  if (cooperative.empty()) return 0.0;  // paper: uncooperative => 0 QEF
+  if (cooperative.size() == 1) return 1.0;  // a single source overlaps nothing
+  if (sum_cardinality == 0) return 1.0;
+
+  const double union_estimate = cache_.EstimateUnion(cooperative);
+  const double k = static_cast<double>(cooperative.size());
+  const double ratio =
+      union_estimate / static_cast<double>(sum_cardinality);  // in (0, 1]
+  const double redundancy = (k * ratio - 1.0) / (k - 1.0);
+  return std::clamp(redundancy, 0.0, 1.0);
+}
+
+}  // namespace mube

@@ -1,0 +1,73 @@
+#ifndef MUBE_QEF_DATA_QEFS_H_
+#define MUBE_QEF_DATA_QEFS_H_
+
+#include <vector>
+
+#include "qef/qef.h"
+#include "sketch/signature_cache.h"
+
+/// \file data_qefs.h
+/// The three data-dependent QEFs of paper §4:
+///
+///   Card(S)       = Σ_{s∈S} |s|  /  Σ_{t∈U} |t|
+///   Coverage(S)   = |∪_{s∈S} s|  /  |∪_{t∈U} t|
+///   Redundancy(S) = ( |S|·|∪_{s∈S} s| / Σ_{s∈S}|s|  −  1 ) / ( |S| − 1 )
+///
+/// All three return values in [0, 1]; Redundancy is oriented so that 1 is
+/// best (no overlap among the selected sources) and 0 worst (all sources
+/// hold identical data), as required by the maximization problem. Union
+/// cardinalities come from the PCSA SignatureCache — never from the data.
+///
+/// Uncooperative sources (no hash signature) are excluded from the
+/// coverage/redundancy computations and effectively contribute zero, per
+/// the paper's fallback policy; they still count fully toward Card, whose
+/// only input is the self-reported cardinality.
+
+namespace mube {
+
+class Universe;
+
+/// \brief F2: fraction of the universe's total tuples held by S.
+class CardQef : public Qef {
+ public:
+  explicit CardQef(const Universe& universe);
+  double Evaluate(const std::vector<uint32_t>& source_ids) const override;
+  std::string name() const override { return "cardinality"; }
+
+  /// Raw Σ|s| over S (used by the Figure 8 sensitivity bench, which plots
+  /// absolute cardinality of the chosen solution).
+  uint64_t RawCardinality(const std::vector<uint32_t>& source_ids) const;
+
+ private:
+  const Universe& universe_;
+};
+
+/// \brief F3: estimated fraction of the universe's distinct tuples
+/// obtainable from S.
+class CoverageQef : public Qef {
+ public:
+  /// `cache` must outlive the QEF.
+  CoverageQef(const Universe& universe, const SignatureCache& cache);
+  double Evaluate(const std::vector<uint32_t>& source_ids) const override;
+  std::string name() const override { return "coverage"; }
+
+ private:
+  const Universe& universe_;
+  const SignatureCache& cache_;
+};
+
+/// \brief F4: degree of non-overlap among the selected sources.
+class RedundancyQef : public Qef {
+ public:
+  RedundancyQef(const Universe& universe, const SignatureCache& cache);
+  double Evaluate(const std::vector<uint32_t>& source_ids) const override;
+  std::string name() const override { return "redundancy"; }
+
+ private:
+  const Universe& universe_;
+  const SignatureCache& cache_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_QEF_DATA_QEFS_H_

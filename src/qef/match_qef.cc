@@ -1,0 +1,43 @@
+#include "qef/match_qef.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mube {
+
+MatchQualityQef::MatchQualityQef(const Matcher& matcher, MatchOptions options,
+                                 std::vector<uint32_t> source_constraints,
+                                 MediatedSchema ga_constraints)
+    : matcher_(matcher),
+      options_(options),
+      source_constraints_(std::move(source_constraints)),
+      ga_constraints_(std::move(ga_constraints)) {}
+
+const MatchResult& MatchQualityQef::MatchFor(
+    const std::vector<uint32_t>& source_ids) const {
+  const uint64_t key = SetFingerprint(source_ids);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  Result<MatchResult> result =
+      matcher_.Match(source_ids, options_, source_constraints_,
+                     ga_constraints_);
+  if (!result.ok()) {
+    // The optimizer only proposes well-formed subsets; reaching this means
+    // a caller handed us malformed input. Surface loudly but keep the QEF
+    // contract (worst quality) instead of crashing a long-running session.
+    MUBE_LOG(kWarning) << "Match(S) rejected input: "
+                       << result.status().ToString();
+    it = cache_.emplace(key, MatchResult{}).first;
+    return it->second;
+  }
+  it = cache_.emplace(key, result.MoveValueUnsafe()).first;
+  return it->second;
+}
+
+double MatchQualityQef::Evaluate(
+    const std::vector<uint32_t>& source_ids) const {
+  return MatchFor(source_ids).quality;
+}
+
+}  // namespace mube

@@ -1,0 +1,63 @@
+#ifndef MUBE_QEF_MATCH_QEF_H_
+#define MUBE_QEF_MATCH_QEF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "match/matcher.h"
+#include "qef/qef.h"
+
+/// \file match_qef.h
+/// F1, the matching-quality QEF (paper §3). Unlike the other QEFs it has a
+/// by-product the rest of the system needs: the generated mediated schema M
+/// for the subset. Match(S) is also by far the most expensive evaluation in
+/// the inner loop of the optimizer, and the optimizer revisits subsets
+/// constantly (tabu search walks neighborhoods), so MatchQualityQef
+/// memoizes full MatchResults keyed by an order-independent fingerprint of
+/// the subset.
+
+namespace mube {
+
+/// \brief F1 with memoization; also the oracle for "what schema does this
+/// subset get".
+///
+/// Constraints (C, G) and θ/β are fixed per instance — they change between
+/// µBE iterations, and each iteration builds a fresh problem, so a stale
+/// cache cannot leak across constraint changes.
+class MatchQualityQef : public Qef {
+ public:
+  /// `matcher` must outlive the QEF. `source_constraints` must be a subset
+  /// of every S this QEF will ever be asked about (the optimizer keeps C
+  /// pinned into all candidate solutions).
+  MatchQualityQef(const Matcher& matcher, MatchOptions options,
+                  std::vector<uint32_t> source_constraints,
+                  MediatedSchema ga_constraints);
+
+  double Evaluate(const std::vector<uint32_t>& source_ids) const override;
+  std::string name() const override { return "matching"; }
+
+  /// Full Match(S) output (memoized). An input-validation failure inside
+  /// Match — which cannot happen for subsets produced by the optimizer —
+  /// is reported as an infeasible result.
+  const MatchResult& MatchFor(const std::vector<uint32_t>& source_ids) const;
+
+  const MatchOptions& options() const { return options_; }
+  const std::vector<uint32_t>& source_constraints() const {
+    return source_constraints_;
+  }
+  const MediatedSchema& ga_constraints() const { return ga_constraints_; }
+
+  /// Number of distinct subsets evaluated so far (cache size).
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const Matcher& matcher_;
+  MatchOptions options_;
+  std::vector<uint32_t> source_constraints_;
+  MediatedSchema ga_constraints_;
+  mutable std::unordered_map<uint64_t, MatchResult> cache_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_QEF_MATCH_QEF_H_

@@ -1,0 +1,83 @@
+#ifndef MUBE_QEF_QEF_H_
+#define MUBE_QEF_QEF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file qef.h
+/// Quality Evaluation Functions (paper §2.3). A QEF F_k maps a set of
+/// sources S to an aggregate quality in [0, 1], higher is better. The
+/// overall quality Q(S) = Σ w_i F_i(S) with user-set weights w_i ∈ [0, 1]
+/// summing to 1; the weights are the main lever the user turns between
+/// iterations to steer the search.
+
+namespace mube {
+
+/// \brief Interface: one quality dimension over source subsets.
+class Qef {
+ public:
+  virtual ~Qef() = default;
+
+  /// Aggregate quality of the subset `source_ids` (sorted or not; QEFs must
+  /// not care). Must return a value in [0, 1].
+  virtual double Evaluate(const std::vector<uint32_t>& source_ids) const = 0;
+
+  /// Display name ("matching", "cardinality", "coverage", ...).
+  virtual std::string name() const = 0;
+};
+
+/// \brief An ordered collection of QEFs with their weights.
+///
+/// The weight vector is validated on every mutation path via
+/// ValidateWeights(); Q(S) evaluation is a plain weighted sum.
+class QefSet {
+ public:
+  QefSet() = default;
+
+  // The set owns its QEFs; moving is fine, copying is not.
+  QefSet(const QefSet&) = delete;
+  QefSet& operator=(const QefSet&) = delete;
+  QefSet(QefSet&&) = default;
+  QefSet& operator=(QefSet&&) = default;
+
+  /// Appends a QEF with weight `weight`. Weights are only checked for the
+  /// [0,1] range here; the sum-to-1 constraint is checked by
+  /// ValidateWeights() once the set is complete (and by Q-evaluation).
+  Status Add(std::unique_ptr<Qef> qef, double weight);
+
+  /// Replaces all weights (e.g. between µBE iterations). Size must match.
+  Status SetWeights(const std::vector<double>& weights);
+
+  /// Rescales weights to sum to 1 (used by the sensitivity experiments
+  /// where one weight is dialed and the rest split the remainder).
+  Status NormalizeWeights();
+
+  /// OK iff all weights are in [0,1] and they sum to 1 (±1e-9).
+  Status ValidateWeights() const;
+
+  /// Q(S) = Σ w_i F_i(S). CHECK-fails if the set is empty.
+  double OverallQuality(const std::vector<uint32_t>& source_ids) const;
+
+  /// All F_i(S) values, parallel to the insertion order.
+  std::vector<double> EvaluateAll(
+      const std::vector<uint32_t>& source_ids) const;
+
+  size_t size() const { return qefs_.size(); }
+  const Qef& qef(size_t i) const { return *qefs_[i]; }
+  double weight(size_t i) const { return weights_[i]; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Index of the QEF named `name`, or -1.
+  int64_t FindByName(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<Qef>> qefs_;
+  std::vector<double> weights_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_QEF_QEF_H_

@@ -1,0 +1,16 @@
+#include "schema/attribute.h"
+
+#include "common/string_util.h"
+
+namespace mube {
+
+Attribute::Attribute(std::string name_in, int32_t concept_id_in)
+    : name(std::move(name_in)),
+      normalized(NormalizeAttributeName(name)),
+      concept_id(concept_id_in) {}
+
+std::string AttributeRef::ToString() const {
+  return "s" + std::to_string(source_id) + ".a" + std::to_string(attr_index);
+}
+
+}  // namespace mube

@@ -1,0 +1,75 @@
+#ifndef MUBE_SCHEMA_ATTRIBUTE_H_
+#define MUBE_SCHEMA_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// \file attribute.h
+/// Attributes and attribute references. In the paper's notation, source i
+/// has schema (a_i1, a_i2, ..., a_in_i); an AttributeRef is the pair (i, j)
+/// identifying attribute a_ij, and an Attribute carries the name string used
+/// by the similarity measure plus an optional ground-truth concept label used
+/// only by the evaluation harness (Table 1).
+
+namespace mube {
+
+/// Sentinel concept id for attributes with no ground-truth label (e.g.
+/// off-domain "noise" attributes introduced by the perturbation model).
+inline constexpr int32_t kNoConcept = -1;
+
+/// \brief One attribute of one source's schema.
+struct Attribute {
+  /// Raw attribute name as exported by the source ("Author Name").
+  std::string name;
+  /// Normalized form used by similarity measures ("author name"). Kept
+  /// precomputed because every pairwise similarity call needs it.
+  std::string normalized;
+  /// Ground-truth domain concept this attribute expresses, or kNoConcept.
+  /// Never consulted by the matching/optimization pipeline — evaluation only.
+  int32_t concept_id = kNoConcept;
+
+  Attribute() = default;
+  /// Builds an attribute, deriving the normalized form from `name`.
+  explicit Attribute(std::string name, int32_t concept_id = kNoConcept);
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && concept_id == other.concept_id;
+  }
+};
+
+/// \brief Identifies attribute a_ij: attribute `attr_index` of source
+/// `source_id`. Ordered and hashable so GAs can be kept sorted and
+/// deduplicated.
+struct AttributeRef {
+  uint32_t source_id = 0;
+  uint32_t attr_index = 0;
+
+  AttributeRef() = default;
+  AttributeRef(uint32_t source_id, uint32_t attr_index)
+      : source_id(source_id), attr_index(attr_index) {}
+
+  bool operator==(const AttributeRef& other) const {
+    return source_id == other.source_id && attr_index == other.attr_index;
+  }
+  bool operator<(const AttributeRef& other) const {
+    if (source_id != other.source_id) return source_id < other.source_id;
+    return attr_index < other.attr_index;
+  }
+
+  /// "s<i>.a<j>" — used in log output and the text serialization format.
+  std::string ToString() const;
+};
+
+}  // namespace mube
+
+namespace std {
+template <>
+struct hash<mube::AttributeRef> {
+  size_t operator()(const mube::AttributeRef& ref) const {
+    return (static_cast<size_t>(ref.source_id) << 32) ^ ref.attr_index;
+  }
+};
+}  // namespace std
+
+#endif  // MUBE_SCHEMA_ATTRIBUTE_H_

@@ -1,0 +1,115 @@
+#include "schema/compound.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mube {
+
+Result<CompoundExpansion> CompoundExpansion::Build(
+    const Universe& original, std::vector<CompoundSpec> specs) {
+  // ---- Validate specs ----------------------------------------------------
+  for (const CompoundSpec& spec : specs) {
+    if (spec.source_id >= original.size()) {
+      return Status::InvalidArgument("compound spec: source id " +
+                                     std::to_string(spec.source_id) +
+                                     " out of range");
+    }
+    if (spec.attr_indices.size() < 2) {
+      return Status::InvalidArgument(
+          "compound spec: needs >= 2 member attributes");
+    }
+    const Source& source = original.source(spec.source_id);
+    std::set<uint32_t> seen;
+    for (uint32_t idx : spec.attr_indices) {
+      if (idx >= source.attribute_count()) {
+        return Status::InvalidArgument(
+            "compound spec: attribute index " + std::to_string(idx) +
+            " out of range for source " + source.name());
+      }
+      if (!seen.insert(idx).second) {
+        return Status::InvalidArgument(
+            "compound spec: duplicate member attribute " +
+            std::to_string(idx));
+      }
+    }
+  }
+
+  CompoundExpansion expansion;
+  expansion.original_attr_count_.resize(original.size());
+  expansion.compound_of_.resize(original.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    expansion.compound_of_[specs[i].source_id].push_back(i);
+  }
+
+  // ---- Build the derived universe ----------------------------------------
+  for (const Source& source : original.sources()) {
+    Source derived(0, source.name());
+    for (const Attribute& attr : source.attributes()) {
+      derived.AddAttribute(attr);
+    }
+    expansion.original_attr_count_[source.id()] = source.attribute_count();
+
+    for (size_t spec_index : expansion.compound_of_[source.id()]) {
+      const CompoundSpec& spec = specs[spec_index];
+      std::string name = spec.name;
+      if (name.empty()) {
+        for (size_t k = 0; k < spec.attr_indices.size(); ++k) {
+          if (k > 0) name += " ";
+          name += source.attribute(spec.attr_indices[k]).name;
+        }
+      }
+      // Compound elements carry no ground-truth label of their own.
+      derived.AddAttribute(Attribute(std::move(name)));
+    }
+
+    if (source.has_tuples()) {
+      derived.SetTuples(source.tuples());
+    } else {
+      derived.set_cardinality(source.cardinality());
+    }
+    derived.characteristics() = source.characteristics();
+    expansion.derived_.AddSource(std::move(derived));
+  }
+
+  expansion.specs_ = std::move(specs);
+  return expansion;
+}
+
+bool CompoundExpansion::IsCompound(const AttributeRef& ref) const {
+  return ref.source_id < original_attr_count_.size() &&
+         ref.attr_index >= original_attr_count_[ref.source_id];
+}
+
+std::vector<AttributeRef> CompoundExpansion::OriginalMembers(
+    const AttributeRef& ref) const {
+  if (!IsCompound(ref)) return {ref};
+  const size_t k = ref.attr_index - original_attr_count_[ref.source_id];
+  const CompoundSpec& spec = specs_[compound_of_[ref.source_id][k]];
+  std::vector<AttributeRef> members;
+  members.reserve(spec.attr_indices.size());
+  for (uint32_t idx : spec.attr_indices) {
+    members.emplace_back(ref.source_id, idx);
+  }
+  return members;
+}
+
+std::vector<std::vector<AttributeRef>> CompoundExpansion::ProjectToOriginal(
+    const MediatedSchema& derived_schema) const {
+  std::vector<std::vector<AttributeRef>> groups;
+  groups.reserve(derived_schema.size());
+  for (const GlobalAttribute& ga : derived_schema.gas()) {
+    std::vector<AttributeRef> flattened;
+    for (const AttributeRef& ref : ga.members()) {
+      for (const AttributeRef& member : OriginalMembers(ref)) {
+        flattened.push_back(member);
+      }
+    }
+    std::sort(flattened.begin(), flattened.end());
+    flattened.erase(std::unique(flattened.begin(), flattened.end()),
+                    flattened.end());
+    groups.push_back(std::move(flattened));
+  }
+  return groups;
+}
+
+}  // namespace mube

@@ -1,0 +1,90 @@
+#ifndef MUBE_SCHEMA_COMPOUND_H_
+#define MUBE_SCHEMA_COMPOUND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/mediated_schema.h"
+#include "schema/universe.h"
+
+/// \file compound.h
+/// Compound schema elements — the n:m matching extension the paper sketches
+/// in §2.1: "our formulation may be extended to accommodate compound schema
+/// elements by replacing the attributes in our definitions with compound
+/// elements (e.g., elements consisting of sets of attributes). This would
+/// enable us to handle matching with n:m cardinality by mapping n:m matches
+/// to 1:1 matches on compound elements."
+///
+/// The mechanism: the user declares compound elements — named groups of
+/// attributes within one source (e.g. {first name, last name} ≈ "name").
+/// CompoundExpansion derives a new universe in which each declared group
+/// appears as one additional attribute whose name is the concatenation of
+/// its members' names; the whole µBE pipeline (similarity, Match, QEFs,
+/// optimization) then runs unchanged on the derived universe. Matches
+/// involving derived attributes project back to n:m correspondences over
+/// the original schemas via ProjectToOriginal().
+
+namespace mube {
+
+/// \brief One declared compound element: a set of >= 2 attributes of a
+/// single source that jointly express one concept.
+struct CompoundSpec {
+  uint32_t source_id = 0;
+  /// Attribute indexes within the source; must be >= 2, distinct, valid.
+  std::vector<uint32_t> attr_indices;
+  /// Optional display name; empty means "join member names with spaces"
+  /// ("first name last name"), which is what the similarity measure should
+  /// see for string matching against e.g. "full name".
+  std::string name;
+};
+
+/// \brief A universe derived by appending compound elements, with the
+/// book-keeping to translate results back.
+class CompoundExpansion {
+ public:
+  /// Validates the specs and builds the derived universe. Tuples,
+  /// cardinalities and characteristics are carried over untouched (data
+  /// QEFs are attribute-agnostic).
+  static Result<CompoundExpansion> Build(const Universe& original,
+                                         std::vector<CompoundSpec> specs);
+
+  /// The derived universe: original attributes plus one attribute per
+  /// compound spec, appended after the source's own attributes.
+  const Universe& derived() const { return derived_; }
+
+  /// True iff `ref` (into the derived universe) denotes a compound element
+  /// rather than an original attribute.
+  bool IsCompound(const AttributeRef& ref) const;
+
+  /// The original attributes behind a derived attribute: a singleton for a
+  /// carried-over attribute, the member set for a compound element.
+  std::vector<AttributeRef> OriginalMembers(const AttributeRef& ref) const;
+
+  /// Projects a mediated schema over the derived universe back onto the
+  /// original universe. Compound members are flattened, so one derived GA
+  /// may map n attributes of one source to m of another — the n:m match.
+  /// The result is a set of attribute groups, NOT a valid 1:1
+  /// MediatedSchema (a flattened group may hold several attributes of one
+  /// source, which is the whole point).
+  std::vector<std::vector<AttributeRef>> ProjectToOriginal(
+      const MediatedSchema& derived_schema) const;
+
+  size_t compound_count() const { return specs_.size(); }
+
+ private:
+  CompoundExpansion() = default;
+
+  Universe derived_;
+  std::vector<CompoundSpec> specs_;
+  /// Per source: number of original attributes (compounds start after).
+  std::vector<uint32_t> original_attr_count_;
+  /// For source s, compound_of_[s][k] = index into specs_ of the k-th
+  /// appended compound.
+  std::vector<std::vector<size_t>> compound_of_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_SCHEMA_COMPOUND_H_

@@ -1,0 +1,111 @@
+#include "schema/global_attribute.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "schema/attribute.h"
+#include "schema/universe.h"
+
+namespace mube {
+
+GlobalAttribute::GlobalAttribute(std::vector<AttributeRef> members)
+    : members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+}
+
+bool GlobalAttribute::Insert(const AttributeRef& ref) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), ref);
+  if (it != members_.end() && *it == ref) return true;  // already present
+  for (const AttributeRef& m : members_) {
+    if (m.source_id == ref.source_id) return false;
+  }
+  members_.insert(it, ref);
+  return true;
+}
+
+bool GlobalAttribute::Contains(const AttributeRef& ref) const {
+  return std::binary_search(members_.begin(), members_.end(), ref);
+}
+
+bool GlobalAttribute::TouchesSource(uint32_t source_id) const {
+  // Members are sorted by source id first.
+  auto it = std::lower_bound(
+      members_.begin(), members_.end(), AttributeRef(source_id, 0));
+  return it != members_.end() && it->source_id == source_id;
+}
+
+bool GlobalAttribute::IsValid() const {
+  if (members_.empty()) return false;
+  for (size_t i = 1; i < members_.size(); ++i) {
+    if (members_[i].source_id == members_[i - 1].source_id) return false;
+  }
+  return true;
+}
+
+bool GlobalAttribute::IsSubsetOf(const GlobalAttribute& other) const {
+  return std::includes(other.members_.begin(), other.members_.end(),
+                       members_.begin(), members_.end());
+}
+
+bool GlobalAttribute::Intersects(const GlobalAttribute& other) const {
+  auto a = members_.begin();
+  auto b = other.members_.begin();
+  while (a != members_.end() && b != other.members_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+bool GlobalAttribute::CanMergeWith(const GlobalAttribute& other) const {
+  auto a = members_.begin();
+  auto b = other.members_.begin();
+  while (a != members_.end() && b != other.members_.end()) {
+    if (a->source_id == b->source_id) return false;
+    if (a->source_id < b->source_id) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return true;
+}
+
+void GlobalAttribute::MergeFrom(const GlobalAttribute& other) {
+  MUBE_DCHECK(CanMergeWith(other));
+  std::vector<AttributeRef> merged;
+  merged.reserve(members_.size() + other.members_.size());
+  std::merge(members_.begin(), members_.end(), other.members_.begin(),
+             other.members_.end(), std::back_inserter(merged));
+  members_ = std::move(merged);
+}
+
+std::string GlobalAttribute::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += members_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string GlobalAttribute::ToString(const Universe& universe) const {
+  std::string out = "{";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += universe.source(members_[i].source_id).name();
+    out += ".";
+    out += universe.attribute(members_[i]).name;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mube

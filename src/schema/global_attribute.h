@@ -1,0 +1,79 @@
+#ifndef MUBE_SCHEMA_GLOBAL_ATTRIBUTE_H_
+#define MUBE_SCHEMA_GLOBAL_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/attribute.h"
+
+/// \file global_attribute.h
+/// Global Attributes (paper §2.2, Definition 1). A GA is an *unnamed*
+/// mediated-schema attribute, represented extensionally as the set of source
+/// attributes that express the same concept and therefore map to it. A GA is
+/// valid iff it is non-empty and contains at most one attribute per source
+/// (the same concept cannot be expressed twice within one schema).
+
+namespace mube {
+
+class Universe;
+
+/// \brief A set of attributes, at most one per source, that match with each
+/// other and map to a single mediated-schema attribute.
+///
+/// Internally kept sorted by (source_id, attr_index) so equality, set
+/// operations, and serialization are canonical.
+class GlobalAttribute {
+ public:
+  GlobalAttribute() = default;
+  /// Builds from any ordering; dedups and sorts.
+  explicit GlobalAttribute(std::vector<AttributeRef> members);
+
+  /// Inserts `ref`, keeping order; no-op if already present. Returns false
+  /// (and leaves the GA unchanged) if another attribute of the same source
+  /// is already present — inserting it would violate Definition 1.
+  bool Insert(const AttributeRef& ref);
+
+  bool Contains(const AttributeRef& ref) const;
+
+  /// True iff this GA has an attribute from source `source_id` (the g ∩ s
+  /// test of Definition 2).
+  bool TouchesSource(uint32_t source_id) const;
+
+  /// Definition 1: non-empty, and no two members share a source.
+  bool IsValid() const;
+
+  /// True iff every member of this GA is a member of `other` (g₂ ⊆ g₁ in
+  /// Definition 3).
+  bool IsSubsetOf(const GlobalAttribute& other) const;
+
+  /// True iff the two GAs share at least one attribute.
+  bool Intersects(const GlobalAttribute& other) const;
+
+  /// True iff merging with `other` would still satisfy Definition 1, i.e.
+  /// the member source-id sets are disjoint. (Attributes shared verbatim
+  /// also collide on source id, so this single test suffices.)
+  bool CanMergeWith(const GlobalAttribute& other) const;
+
+  /// Set-unions `other` into this GA. Requires CanMergeWith(other).
+  void MergeFrom(const GlobalAttribute& other);
+
+  const std::vector<AttributeRef>& members() const { return members_; }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  bool operator==(const GlobalAttribute& other) const {
+    return members_ == other.members_;
+  }
+
+  /// "{s0.a1, s3.a0}" or, given a universe, "{title, book title}".
+  std::string ToString() const;
+  std::string ToString(const Universe& universe) const;
+
+ private:
+  std::vector<AttributeRef> members_;  // sorted, unique
+};
+
+}  // namespace mube
+
+#endif  // MUBE_SCHEMA_GLOBAL_ATTRIBUTE_H_

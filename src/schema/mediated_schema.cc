@@ -1,0 +1,96 @@
+#include "schema/mediated_schema.h"
+
+#include <algorithm>
+
+#include "schema/attribute.h"
+#include "schema/universe.h"
+
+namespace mube {
+
+size_t MediatedSchema::TotalAttributeCount() const {
+  size_t total = 0;
+  for (const GlobalAttribute& ga : gas_) total += ga.size();
+  return total;
+}
+
+bool MediatedSchema::IsWellFormed() const {
+  for (const GlobalAttribute& ga : gas_) {
+    if (!ga.IsValid()) return false;
+  }
+  for (size_t i = 0; i < gas_.size(); ++i) {
+    for (size_t j = i + 1; j < gas_.size(); ++j) {
+      if (gas_[i].Intersects(gas_[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool MediatedSchema::IsValidOn(const std::vector<uint32_t>& source_ids) const {
+  if (!IsWellFormed()) return false;
+  for (uint32_t sid : source_ids) {
+    bool touched = false;
+    for (const GlobalAttribute& ga : gas_) {
+      if (ga.TouchesSource(sid)) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) return false;
+  }
+  return true;
+}
+
+bool MediatedSchema::Subsumes(const MediatedSchema& other) const {
+  for (const GlobalAttribute& small : other.gas_) {
+    bool contained = false;
+    for (const GlobalAttribute& big : gas_) {
+      if (small.IsSubsetOf(big)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) return false;
+  }
+  return true;
+}
+
+bool MediatedSchema::ContainsAttribute(const AttributeRef& ref) const {
+  return FindGaWithAttribute(ref) >= 0;
+}
+
+int64_t MediatedSchema::FindGaWithAttribute(const AttributeRef& ref) const {
+  for (size_t i = 0; i < gas_.size(); ++i) {
+    if (gas_[i].Contains(ref)) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+std::vector<uint32_t> MediatedSchema::TouchedSources() const {
+  std::vector<uint32_t> ids;
+  for (const GlobalAttribute& ga : gas_) {
+    for (const AttributeRef& m : ga.members()) ids.push_back(m.source_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::string MediatedSchema::ToString() const {
+  std::string out;
+  for (const GlobalAttribute& ga : gas_) {
+    out += ga.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MediatedSchema::ToString(const Universe& universe) const {
+  std::string out;
+  for (const GlobalAttribute& ga : gas_) {
+    out += ga.ToString(universe);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mube

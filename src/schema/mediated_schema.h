@@ -1,0 +1,78 @@
+#ifndef MUBE_SCHEMA_MEDIATED_SCHEMA_H_
+#define MUBE_SCHEMA_MEDIATED_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/global_attribute.h"
+
+/// \file mediated_schema.h
+/// Mediated schemas (paper §2.2, Definitions 2–3). A mediated schema M is a
+/// set of GAs. M is *valid on a set of sources S* iff (a) its GAs are
+/// pairwise disjoint — an attribute cannot express two concepts — and (b) M
+/// spans S: every source in S contributes at least one attribute to some GA.
+/// M₁ *subsumes* M₂ (M₂ ⊑ M₁) iff every GA of M₂ is contained in some GA of
+/// M₁; subsumption is how GA constraints G ⊑ M are enforced.
+
+namespace mube {
+
+class Universe;
+
+/// \brief A set of Global Attributes forming the (unnamed) global schema of
+/// a data integration system.
+class MediatedSchema {
+ public:
+  MediatedSchema() = default;
+  explicit MediatedSchema(std::vector<GlobalAttribute> gas)
+      : gas_(std::move(gas)) {}
+
+  void Add(GlobalAttribute ga) { gas_.push_back(std::move(ga)); }
+
+  const std::vector<GlobalAttribute>& gas() const { return gas_; }
+  const GlobalAttribute& ga(size_t index) const { return gas_[index]; }
+  size_t size() const { return gas_.size(); }
+  bool empty() const { return gas_.empty(); }
+
+  /// Total number of source attributes covered by all GAs.
+  size_t TotalAttributeCount() const;
+
+  /// Every GA individually satisfies Definition 1 and the GAs are pairwise
+  /// disjoint (first half of Definition 2, independent of any source set).
+  bool IsWellFormed() const;
+
+  /// Definition 2: IsWellFormed() and every source id in `source_ids` is
+  /// touched by at least one GA.
+  bool IsValidOn(const std::vector<uint32_t>& source_ids) const;
+
+  /// Definition 3: every GA of `other` is a subset of some GA of this
+  /// schema (other ⊑ this).
+  bool Subsumes(const MediatedSchema& other) const;
+
+  /// True iff some GA contains `ref`.
+  bool ContainsAttribute(const AttributeRef& ref) const;
+
+  /// Index of the GA containing `ref`, or -1.
+  int64_t FindGaWithAttribute(const AttributeRef& ref) const;
+
+  /// Ids of all sources touched by at least one GA, sorted ascending. GA
+  /// constraints implicitly require these sources in the solution (§2.4).
+  std::vector<uint32_t> TouchedSources() const;
+
+  bool operator==(const MediatedSchema& other) const {
+    return gas_ == other.gas_;
+  }
+
+  /// One GA per line. The overload with a universe prints attribute names —
+  /// this is the output format the user edits into next-iteration
+  /// constraints.
+  std::string ToString() const;
+  std::string ToString(const Universe& universe) const;
+
+ private:
+  std::vector<GlobalAttribute> gas_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_SCHEMA_MEDIATED_SCHEMA_H_

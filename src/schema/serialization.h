@@ -1,0 +1,61 @@
+#ifndef MUBE_SCHEMA_SERIALIZATION_H_
+#define MUBE_SCHEMA_SERIALIZATION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "schema/mediated_schema.h"
+#include "schema/universe.h"
+
+/// \file serialization.h
+/// A small line-oriented text format for source catalogs and mediated
+/// schemas. µBE's interaction model (paper §6) hinges on input constraints
+/// having the same format as the output schema, so the same grammar is used
+/// for both directions:
+///
+/// Universe format:
+/// \code
+///   # comment
+///   source aceticket.com
+///   attr state
+///   attr city
+///   attr event            ; concept 3   (optional ground-truth label)
+///   cardinality 120000
+///   char mttf 96.5
+///   end
+/// \endcode
+///
+/// Mediated schema / GA-constraint format — one GA per line, members as
+/// `source.attribute`, comma separated:
+/// \code
+///   aceticket.com.city, lastminute.com.location
+/// \endcode
+
+namespace mube {
+
+/// Renders `universe` in the text format above (without tuples — data stays
+/// at the sources; only schema, cardinality, and characteristics travel).
+std::string SerializeUniverse(const Universe& universe);
+
+/// Parses the universe format. Unknown directives are an error.
+Result<Universe> ParseUniverse(std::string_view text);
+
+/// Renders a mediated schema as GA-constraint lines, ready to be edited by
+/// the user and fed back as next-iteration constraints.
+std::string SerializeMediatedSchema(const MediatedSchema& schema,
+                                    const Universe& universe);
+
+/// Parses one GA line ("src.attr, src.attr, ...") against `universe`.
+/// Attribute names may themselves contain dots only if the source name
+/// matches a catalog entry greedily (longest source-name prefix wins).
+Result<GlobalAttribute> ParseGlobalAttribute(std::string_view line,
+                                             const Universe& universe);
+
+/// Parses a full mediated schema: one GA per non-empty, non-comment line.
+Result<MediatedSchema> ParseMediatedSchema(std::string_view text,
+                                           const Universe& universe);
+
+}  // namespace mube
+
+#endif  // MUBE_SCHEMA_SERIALIZATION_H_

@@ -1,0 +1,41 @@
+#include "schema/source.h"
+
+namespace mube {
+
+std::optional<double> SourceCharacteristics::Get(
+    const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t Source::AddAttribute(Attribute attribute) {
+  attributes_.push_back(std::move(attribute));
+  return static_cast<uint32_t>(attributes_.size() - 1);
+}
+
+std::optional<uint32_t> Source::FindAttribute(const std::string& name) const {
+  for (uint32_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Source::SetTuples(std::vector<uint64_t> tuple_ids) {
+  tuples_ = std::move(tuple_ids);
+  has_tuples_ = true;
+  cardinality_ = tuples_.size();
+}
+
+std::string Source::ToString() const {
+  std::string out = name_;
+  out += "{";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mube

@@ -1,0 +1,108 @@
+#ifndef MUBE_SCHEMA_SOURCE_H_
+#define MUBE_SCHEMA_SOURCE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/attribute.h"
+
+/// \file source.h
+/// A data source as seen by µBE (paper §2.1): a relational schema (list of
+/// attributes), a set of tuples (we keep their 64-bit identifiers, which is
+/// all the PCSA sketches consume), and a set of named, per-source
+/// characteristics (MTTF, latency, fees, ...).
+
+namespace mube {
+
+/// \brief Named non-functional properties of a source.
+///
+/// Values are positive reals of any magnitude (paper §5); aggregation into a
+/// [0,1] QEF happens in src/qef. Unknown characteristics are simply absent.
+class SourceCharacteristics {
+ public:
+  /// Sets characteristic `name` to `value`. Overwrites silently.
+  void Set(const std::string& name, double value) { values_[name] = value; }
+
+  /// The value of `name`, or nullopt if the source does not report it.
+  std::optional<double> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+  size_t size() const { return values_.size(); }
+  const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// \brief One data source: schema + tuples + characteristics.
+class Source {
+ public:
+  Source() = default;
+
+  /// \param id    dense id assigned by the Universe (index into it)
+  /// \param name  human-readable identifier ("aceticket.com")
+  Source(uint32_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Appends an attribute; returns its index within this schema.
+  uint32_t AddAttribute(Attribute attribute);
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(uint32_t index) const {
+    return attributes_[index];
+  }
+  uint32_t attribute_count() const {
+    return static_cast<uint32_t>(attributes_.size());
+  }
+
+  /// Index of the attribute whose raw name equals `name`, if any.
+  std::optional<uint32_t> FindAttribute(const std::string& name) const;
+
+  /// \name Data
+  /// Tuples are stored as opaque 64-bit ids; the sketch layer hashes them.
+  /// A source may decline to expose tuples (`has_tuples()` false), modelling
+  /// the paper's "uncooperative sources" which then receive zero
+  /// coverage/redundancy QEFs.
+  /// @{
+  void SetTuples(std::vector<uint64_t> tuple_ids);
+  bool has_tuples() const { return has_tuples_; }
+  const std::vector<uint64_t>& tuples() const { return tuples_; }
+
+  /// Number of tuples |s|. For cooperative sources this equals
+  /// tuples().size(); it can also be set directly when tuples are withheld
+  /// but the source still reports its cardinality.
+  uint64_t cardinality() const { return cardinality_; }
+  void set_cardinality(uint64_t cardinality) { cardinality_ = cardinality; }
+  /// @}
+
+  SourceCharacteristics& characteristics() { return characteristics_; }
+  const SourceCharacteristics& characteristics() const {
+    return characteristics_;
+  }
+
+  /// "name{attr1, attr2, ...}" — matches the style of the paper's Figure 1.
+  std::string ToString() const;
+
+ private:
+  friend class Universe;
+
+  uint32_t id_ = 0;
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<uint64_t> tuples_;
+  bool has_tuples_ = false;
+  uint64_t cardinality_ = 0;
+  SourceCharacteristics characteristics_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_SCHEMA_SOURCE_H_

@@ -1,0 +1,64 @@
+#include "schema/universe.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mube {
+
+uint32_t Universe::AddSource(Source source) {
+  const uint32_t id = static_cast<uint32_t>(sources_.size());
+  source.id_ = id;
+  total_cardinality_ += source.cardinality();
+  sources_.push_back(std::move(source));
+  RebuildIndex();
+  return id;
+}
+
+void Universe::RebuildIndex() {
+  attr_offsets_.resize(sources_.size());
+  size_t offset = 0;
+  uint64_t cardinality = 0;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    attr_offsets_[i] = offset;
+    offset += sources_[i].attribute_count();
+    cardinality += sources_[i].cardinality();
+  }
+  total_attrs_ = offset;
+  total_cardinality_ = cardinality;
+}
+
+std::optional<uint32_t> Universe::FindSource(const std::string& name) const {
+  for (const Source& s : sources_) {
+    if (s.name() == name) return s.id();
+  }
+  return std::nullopt;
+}
+
+const Attribute& Universe::attribute(const AttributeRef& ref) const {
+  MUBE_CHECK(Contains(ref));
+  return sources_[ref.source_id].attribute(ref.attr_index);
+}
+
+bool Universe::Contains(const AttributeRef& ref) const {
+  return ref.source_id < sources_.size() &&
+         ref.attr_index < sources_[ref.source_id].attribute_count();
+}
+
+size_t Universe::GlobalAttrIndex(const AttributeRef& ref) const {
+  MUBE_CHECK(Contains(ref));
+  return attr_offsets_[ref.source_id] + ref.attr_index;
+}
+
+AttributeRef Universe::RefFromGlobalIndex(size_t global_index) const {
+  MUBE_CHECK(global_index < total_attrs_);
+  auto it = std::upper_bound(attr_offsets_.begin(), attr_offsets_.end(),
+                             global_index);
+  const uint32_t source_id = static_cast<uint32_t>(
+      std::distance(attr_offsets_.begin(), it) - 1);
+  return AttributeRef(
+      source_id,
+      static_cast<uint32_t>(global_index - attr_offsets_[source_id]));
+}
+
+}  // namespace mube

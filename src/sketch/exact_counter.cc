@@ -1,0 +1,4 @@
+#include "sketch/exact_counter.h"
+
+// Header-only; this translation unit exists so the library has a definition
+// anchor and the header gets compiled standalone at least once.

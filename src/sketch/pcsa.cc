@@ -1,0 +1,87 @@
+#include "sketch/pcsa.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mube {
+
+namespace {
+/// Flajolet-Martin magic constant: E[2^R] / n converges to 1/φ.
+constexpr double kPhi = 0.77351;
+/// Small-cardinality correction exponent (Flajolet & Martin, §5).
+constexpr double kKappa = 1.75;
+}  // namespace
+
+Status PcsaConfig::Validate() const {
+  if (num_maps < 2 || (num_maps & (num_maps - 1)) != 0) {
+    return Status::InvalidArgument(
+        "PcsaConfig.num_maps must be a power of two >= 2, got " +
+        std::to_string(num_maps));
+  }
+  if (map_bits < 8 || map_bits > 64) {
+    return Status::InvalidArgument(
+        "PcsaConfig.map_bits must be in [8, 64], got " +
+        std::to_string(map_bits));
+  }
+  return Status::OK();
+}
+
+PcsaSketch::PcsaSketch(const PcsaConfig& config) : config_(config) {
+  MUBE_CHECK(config_.Validate().ok());
+  map_shift_ = static_cast<uint32_t>(std::countr_zero(config_.num_maps));
+  bitmaps_.assign(config_.num_maps, 0);
+}
+
+void PcsaSketch::Add(uint64_t item) {
+  const uint64_t h = Mix64(item ^ config_.seed);
+  // Low bits pick the bitmap (stochastic averaging); the remaining bits
+  // drive the geometric bit-position distribution.
+  const uint64_t map_index = h & (config_.num_maps - 1);
+  const uint64_t rest = h >> map_shift_;
+  uint32_t rho = (rest == 0) ? (64 - map_shift_)
+                             : static_cast<uint32_t>(std::countr_zero(rest));
+  if (rho >= config_.map_bits) rho = config_.map_bits - 1;
+  bitmaps_[map_index] |= (uint64_t{1} << rho);
+}
+
+void PcsaSketch::AddAll(const std::vector<uint64_t>& items) {
+  for (uint64_t item : items) Add(item);
+}
+
+Status PcsaSketch::MergeFrom(const PcsaSketch& other) {
+  if (!(config_ == other.config_)) {
+    return Status::InvalidArgument(
+        "cannot merge PCSA sketches with different configs");
+  }
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    bitmaps_[i] |= other.bitmaps_[i];
+  }
+  return Status::OK();
+}
+
+double PcsaSketch::Estimate() const {
+  // R_j = index of the lowest zero bit of bitmap j.
+  uint64_t sum_r = 0;
+  for (uint64_t bitmap : bitmaps_) {
+    sum_r += static_cast<uint64_t>(std::countr_one(bitmap));
+  }
+  const double m = static_cast<double>(config_.num_maps);
+  const double mean_r = static_cast<double>(sum_r) / m;
+  // FM's corrected estimator: (m/φ)(2^R̄ − 2^{−κ·R̄}) removes the upward
+  // bias for cardinalities comparable to m.
+  const double raw =
+      (m / kPhi) * (std::exp2(mean_r) - std::exp2(-kKappa * mean_r));
+  return raw < 0.0 ? 0.0 : raw;
+}
+
+bool PcsaSketch::IsEmpty() const {
+  for (uint64_t bitmap : bitmaps_) {
+    if (bitmap != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace mube

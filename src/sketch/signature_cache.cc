@@ -1,0 +1,59 @@
+#include "sketch/signature_cache.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "schema/universe.h"
+
+namespace mube {
+
+SignatureCache::SignatureCache(const Universe& universe,
+                               const PcsaConfig& config)
+    : config_(config) {
+  sketches_.resize(universe.size());
+  PcsaSketch all(config_);
+  for (const Source& s : universe.sources()) {
+    if (!s.has_tuples()) continue;
+    PcsaSketch sketch(config_);
+    sketch.AddAll(s.tuples());
+    MUBE_CHECK(all.MergeFrom(sketch).ok());
+    sketches_[s.id()] = std::move(sketch);
+    ++cooperative_count_;
+  }
+  universe_union_ = all.Estimate();
+}
+
+const PcsaSketch* SignatureCache::SketchOf(uint32_t source_id) const {
+  const auto& slot = sketches_[source_id];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+double SignatureCache::EstimateUnion(
+    const std::vector<uint32_t>& source_ids) const {
+  if (source_ids.empty()) return 0.0;
+  const uint64_t key = SetFingerprint(source_ids);
+  auto it = union_memo_.find(key);
+  if (it != union_memo_.end()) return it->second;
+
+  PcsaSketch merged(config_);
+  for (uint32_t sid : source_ids) {
+    const PcsaSketch* sketch = SketchOf(sid);
+    if (sketch != nullptr) MUBE_CHECK(merged.MergeFrom(*sketch).ok());
+  }
+  const double estimate = merged.IsEmpty() ? 0.0 : merged.Estimate();
+  union_memo_.emplace(key, estimate);
+  return estimate;
+}
+
+double SignatureCache::EstimateUniverseUnion() const {
+  return universe_union_;
+}
+
+size_t SignatureCache::TotalSignatureBytes() const {
+  size_t total = 0;
+  for (const auto& slot : sketches_) {
+    if (slot.has_value()) total += slot->SizeBytes();
+  }
+  return total;
+}
+
+}  // namespace mube

@@ -1,0 +1,68 @@
+#ifndef MUBE_SKETCH_SIGNATURE_CACHE_H_
+#define MUBE_SKETCH_SIGNATURE_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/pcsa.h"
+
+/// \file signature_cache.h
+/// µBE-side cache of per-source PCSA signatures (paper §4: "These hash
+/// signatures are cached by µbe"). Answers union-cardinality queries for
+/// arbitrary source subsets by OR-merging cached signatures, with
+/// memoization keyed by an order-independent subset fingerprint because the
+/// optimizer evaluates many overlapping subsets.
+///
+/// Uncooperative sources (those that export no tuples and therefore ship no
+/// signature) are skipped in union estimates; the QEF layer assigns them
+/// zero coverage/redundancy contribution, exactly as §4 prescribes.
+
+namespace mube {
+
+class Universe;
+
+/// \brief Builds and serves the per-source signatures of one universe.
+class SignatureCache {
+ public:
+  /// Computes a signature for every cooperative source in `universe`
+  /// (one pass over each source's tuple ids — the "scan the data only once"
+  /// cost the paper argues sources will accept).
+  SignatureCache(const Universe& universe, const PcsaConfig& config);
+
+  /// True iff the source shipped a signature.
+  bool IsCooperative(uint32_t source_id) const {
+    return sketches_[source_id].has_value();
+  }
+
+  /// Number of cooperative sources.
+  size_t cooperative_count() const { return cooperative_count_; }
+
+  /// The cached signature of one cooperative source, or nullptr.
+  const PcsaSketch* SketchOf(uint32_t source_id) const;
+
+  /// Estimated |∪_{i ∈ source_ids, cooperative} s_i|. Returns 0 for an
+  /// empty (or all-uncooperative) set. Memoized per distinct subset.
+  double EstimateUnion(const std::vector<uint32_t>& source_ids) const;
+
+  /// Estimated distinct-tuple count of the union of *all* cooperative
+  /// sources — the |∪_{t ∈ U} t| denominator of the Coverage QEF.
+  double EstimateUniverseUnion() const;
+
+  /// Total signature memory held by the cache, in bytes.
+  size_t TotalSignatureBytes() const;
+
+  const PcsaConfig& config() const { return config_; }
+
+ private:
+  PcsaConfig config_;
+  std::vector<std::optional<PcsaSketch>> sketches_;  // index = source id
+  size_t cooperative_count_ = 0;
+  double universe_union_ = 0.0;
+  mutable std::unordered_map<uint64_t, double> union_memo_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_SKETCH_SIGNATURE_CACHE_H_

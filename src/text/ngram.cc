@@ -1,0 +1,66 @@
+#include "text/ngram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mube {
+
+namespace {
+uint64_t PackGram(std::string_view gram) {
+  uint64_t code = 0;
+  for (unsigned char c : gram) code = (code << 8) | c;
+  // Offset by length so that e.g. "a" and "\0a" cannot collide.
+  return code + (static_cast<uint64_t>(gram.size()) << 56);
+}
+}  // namespace
+
+std::vector<uint64_t> NGramSet(std::string_view text, size_t n) {
+  MUBE_CHECK(n >= 1 && n <= 8);
+  std::vector<uint64_t> grams;
+  if (text.empty()) return grams;
+  if (text.size() <= n) {
+    grams.push_back(PackGram(text));
+    return grams;
+  }
+  grams.reserve(text.size() - n + 1);
+  for (size_t i = 0; i + n <= text.size(); ++i) {
+    grams.push_back(PackGram(text.substr(i, n)));
+  }
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ') ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+size_t SortedIntersectionSize(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b) {
+  size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) {
+      ++count;
+      ++ia;
+      ++ib;
+    } else if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return count;
+}
+
+}  // namespace mube

@@ -1,0 +1,40 @@
+#ifndef MUBE_TEXT_NGRAM_H_
+#define MUBE_TEXT_NGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file ngram.h
+/// Character n-gram extraction. The paper's prototype similarity measure is
+/// the Jaccard coefficient between the 3-gram sets of two attribute names
+/// (§3, citing Cohen et al.). Grams are represented as packed 64-bit codes
+/// (up to 8 bytes per gram) so gram sets are sorted integer vectors and
+/// set intersection is a linear merge, never string hashing.
+
+namespace mube {
+
+/// \brief Extracts the set of character n-grams of `text` as packed codes,
+/// sorted and deduplicated.
+///
+/// For text shorter than n, the whole text forms a single gram, so very
+/// short attribute names ("id") still compare non-trivially. Requires
+/// 1 <= n <= 8.
+std::vector<uint64_t> NGramSet(std::string_view text, size_t n);
+
+/// \brief The paper's default: sorted, deduplicated 3-gram codes.
+inline std::vector<uint64_t> TriGramSet(std::string_view text) {
+  return NGramSet(text, 3);
+}
+
+/// \brief Whitespace-separated word tokens (used by the TF-IDF measure).
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// \brief |a ∩ b| for two sorted, deduplicated code vectors.
+size_t SortedIntersectionSize(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b);
+
+}  // namespace mube
+
+#endif  // MUBE_TEXT_NGRAM_H_

@@ -1,0 +1,178 @@
+#ifndef MUBE_TEXT_SIMILARITY_H_
+#define MUBE_TEXT_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file similarity.h
+/// Pairwise attribute-name similarity measures. Match(S) can use *any*
+/// similarity measure (paper §3); all implementations sit behind
+/// SimilarityMeasure so the clustering algorithm and the similarity matrix
+/// are measure-agnostic. The paper's prototype uses Jaccard over 3-grams;
+/// the alternates exist both for downstream users and for the ablation
+/// tests showing the clustering is measure-independent.
+
+namespace mube {
+
+class Universe;
+
+/// \brief Interface: a symmetric similarity in [0, 1] over (normalized)
+/// attribute-name strings, with 1 meaning identical.
+class SimilarityMeasure {
+ public:
+  virtual ~SimilarityMeasure() = default;
+
+  /// Similarity of two normalized attribute names. Must be symmetric,
+  /// within [0, 1], and equal to 1 for identical non-empty inputs.
+  virtual double Similarity(std::string_view a, std::string_view b) const = 0;
+
+  /// Measure name for logs and config ("jaccard3", ...).
+  virtual std::string name() const = 0;
+
+  /// \name Prepared-token fast path
+  /// The similarity matrix evaluates O(|A|²) pairs; measures that reduce to
+  /// set operations over tokens can tokenize each string once instead of
+  /// once per pair. A measure opts in by returning true from
+  /// SupportsPreparedTokens() and implementing both methods consistently
+  /// with Similarity(). The default is the slow path.
+  /// @{
+  virtual bool SupportsPreparedTokens() const { return false; }
+  /// Sorted, deduplicated token codes of `text`.
+  virtual std::vector<uint64_t> PrepareTokens(std::string_view text) const {
+    (void)text;
+    return {};
+  }
+  virtual double SimilarityFromTokens(
+      const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) const {
+    (void)a;
+    (void)b;
+    return 0.0;
+  }
+  /// @}
+};
+
+/// \brief Jaccard coefficient |G(a) ∩ G(b)| / |G(a) ∪ G(b)| over character
+/// n-gram sets — the paper's prototype measure with n = 3.
+class NGramJaccard : public SimilarityMeasure {
+ public:
+  explicit NGramJaccard(size_t n = 3) : n_(n) {}
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string name() const override {
+    return "jaccard" + std::to_string(n_);
+  }
+
+  bool SupportsPreparedTokens() const override { return true; }
+  std::vector<uint64_t> PrepareTokens(std::string_view text) const override;
+  double SimilarityFromTokens(
+      const std::vector<uint64_t>& a,
+      const std::vector<uint64_t>& b) const override;
+
+ private:
+  size_t n_;
+};
+
+/// \brief Dice coefficient 2|A ∩ B| / (|A| + |B|) over n-gram sets.
+class NGramDice : public SimilarityMeasure {
+ public:
+  explicit NGramDice(size_t n = 3) : n_(n) {}
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "dice" + std::to_string(n_); }
+
+  bool SupportsPreparedTokens() const override { return true; }
+  std::vector<uint64_t> PrepareTokens(std::string_view text) const override;
+  double SimilarityFromTokens(
+      const std::vector<uint64_t>& a,
+      const std::vector<uint64_t>& b) const override;
+
+ private:
+  size_t n_;
+};
+
+/// \brief Normalized Levenshtein similarity 1 - dist / max(|a|, |b|).
+class LevenshteinSimilarity : public SimilarityMeasure {
+ public:
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "levenshtein"; }
+};
+
+/// \brief Jaro-Winkler similarity (prefix-boosted Jaro), a standard
+/// name-matching measure from the record-linkage literature.
+class JaroWinklerSimilarity : public SimilarityMeasure {
+ public:
+  /// \param prefix_scale Winkler prefix bonus weight, conventionally 0.1.
+  explicit JaroWinklerSimilarity(double prefix_scale = 0.1)
+      : prefix_scale_(prefix_scale) {}
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "jaro_winkler"; }
+
+ private:
+  double prefix_scale_;
+};
+
+/// \brief TF-IDF cosine similarity over word tokens, with document
+/// frequencies learned from a corpus of attribute names (typically all
+/// attribute names in the universe). Rewards matching on rare words
+/// ("isbn") over ubiquitous ones ("name").
+class TfIdfCosineSimilarity : public SimilarityMeasure {
+ public:
+  /// Builds document frequencies from `corpus` (one entry per attribute
+  /// name, already normalized).
+  explicit TfIdfCosineSimilarity(const std::vector<std::string>& corpus);
+
+  /// Convenience: corpus = every attribute name in `universe`.
+  static std::unique_ptr<TfIdfCosineSimilarity> FromUniverse(
+      const Universe& universe);
+
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "tfidf_cosine"; }
+
+ private:
+  double Idf(const std::string& token) const;
+
+  std::unordered_map<std::string, size_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+/// \brief A weighted combination of base measures — the multi-evidence
+/// idea of the LSD/Cupid line of work the paper builds on: string-overlap
+/// and edit-based measures fail on different name pairs, and a convex
+/// combination is more robust than either alone. Weights must be positive
+/// and are normalized to sum to 1.
+class CompositeSimilarity : public SimilarityMeasure {
+ public:
+  /// Takes ownership of the base measures. Requires a non-empty list and
+  /// positive weights (CHECK-enforced via the factory below; prefer
+  /// MakeComposite for fallible construction).
+  CompositeSimilarity(
+      std::vector<std::unique_ptr<SimilarityMeasure>> measures,
+      std::vector<double> weights);
+
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string name() const override;
+
+  /// Validating factory.
+  static Result<std::unique_ptr<CompositeSimilarity>> Make(
+      std::vector<std::unique_ptr<SimilarityMeasure>> measures,
+      std::vector<double> weights);
+
+ private:
+  std::vector<std::unique_ptr<SimilarityMeasure>> measures_;
+  std::vector<double> weights_;  // normalized
+};
+
+/// \brief Instantiates a measure by name: "jaccard3" (default), "jaccard2",
+/// "dice3", "levenshtein", "jaro_winkler". "tfidf_cosine" requires a corpus
+/// and is rejected here — build it via TfIdfCosineSimilarity::FromUniverse.
+/// Composite measures are spelled "a+b" (equal weights), e.g.
+/// "jaccard3+jaro_winkler".
+Result<std::unique_ptr<SimilarityMeasure>> MakeSimilarityMeasure(
+    const std::string& name);
+
+}  // namespace mube
+
+#endif  // MUBE_TEXT_SIMILARITY_H_

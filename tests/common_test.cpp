@@ -1,0 +1,352 @@
+// Unit and property tests for src/common: Status/Result, PRNG and samplers,
+// hashing, string utilities.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mube {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad theta");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad theta");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad theta");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::NotFound("x");
+  Status copy = st;        // copy ctor
+  Status assigned;
+  assigned = st;           // copy assignment
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_TRUE(assigned.IsNotFound());
+  EXPECT_EQ(copy, st);
+  EXPECT_EQ(assigned, st);
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status st = Status::Internal("boom");
+  Status moved = std::move(st);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Infeasible("").code(), StatusCode::kInfeasible);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  MUBE_ASSIGN_OR_RETURN(int h, Half(x));
+  MUBE_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 2);
+
+  Result<int> err = Quarter(6);  // 6/2 = 3 is odd
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status CheckAll(int a, int b) {
+  MUBE_RETURN_IF_ERROR(FailIfNegative(a));
+  MUBE_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckAll(1, 2).ok());
+  EXPECT_FALSE(CheckAll(1, -2).ok());
+  EXPECT_FALSE(CheckAll(-1, 2).ok());
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(29);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+    ASSERT_EQ(sample.size(), 30u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (size_t s : sample) EXPECT_LT(s, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(31);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+// ------------------------------------------------------------------ Zipf --
+
+TEST(ZipfTest, RanksWithinBounds) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t rank = zipf.Sample(&rng);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 50u);
+  }
+}
+
+TEST(ZipfTest, LowRanksDominate) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(41);
+  int rank1 = 0, rank50 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const size_t rank = zipf.Sample(&rng);
+    if (rank == 1) ++rank1;
+    if (rank == 50) ++rank50;
+  }
+  // P(rank=1) / P(rank=50) = 50 under skew 1.
+  EXPECT_GT(rank1, rank50 * 20);
+}
+
+TEST(ZipfTest, SkewZeroPointFiveIsFlatterThanTwo) {
+  Rng rng1(43), rng2(43);
+  ZipfSampler flat(100, 0.5), steep(100, 2.0);
+  double flat_sum = 0, steep_sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    flat_sum += static_cast<double>(flat.Sample(&rng1));
+    steep_sum += static_cast<double>(steep.Sample(&rng2));
+  }
+  EXPECT_GT(flat_sum, steep_sum * 2);
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Adjacent inputs should differ in many bits.
+  const uint64_t diff = Mix64(100) ^ Mix64(101);
+  EXPECT_GT(std::popcount(diff), 16);
+}
+
+TEST(HashTest, HashBytesSeedChangesValue) {
+  EXPECT_NE(HashBytes("abc", 0), HashBytes("abc", 1));
+  EXPECT_EQ(HashBytes("abc", 5), HashBytes("abc", 5));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+}
+
+TEST(HashTest, SetFingerprintOrderIndependent) {
+  EXPECT_EQ(SetFingerprint({1, 2, 3}), SetFingerprint({3, 1, 2}));
+  EXPECT_NE(SetFingerprint({1, 2, 3}), SetFingerprint({1, 2, 4}));
+  EXPECT_NE(SetFingerprint({1, 2}), SetFingerprint({1, 2, 3}));
+}
+
+TEST(HashTest, HashFamilyMembersAreIndependentish) {
+  HashFamily family(8, 99);
+  EXPECT_EQ(family.size(), 8u);
+  // Same key through different members gives different values.
+  std::set<uint64_t> values;
+  for (size_t i = 0; i < family.size(); ++i) values.insert(family.Hash(i, 7));
+  EXPECT_EQ(values.size(), family.size());
+  // Same (member, key) is stable.
+  EXPECT_EQ(family.Hash(3, 1234), family.Hash(3, 1234));
+}
+
+TEST(HashTest, HashFamilySeedDeterminesFamily) {
+  HashFamily a(4, 1), b(4, 1), c(4, 2);
+  EXPECT_EQ(a.Hash(0, 55), b.Hash(0, 55));
+  EXPECT_NE(a.Hash(0, 55), c.Hash(0, 55));
+}
+
+// ---------------------------------------------------------------- String --
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC dEf"), "abc def");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, SplitAndTrimDropsEmpties) {
+  EXPECT_EQ(SplitAndTrim(" a , ,b ", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, NormalizeAttributeName) {
+  EXPECT_EQ(NormalizeAttributeName("First_Name "), "first name");
+  EXPECT_EQ(NormalizeAttributeName("first  name"), "first name");
+  EXPECT_EQ(NormalizeAttributeName("ISBN-13"), "isbn 13");
+  EXPECT_EQ(NormalizeAttributeName("   "), "");
+  EXPECT_EQ(NormalizeAttributeName("price"), "price");
+}
+
+TEST(StringUtilTest, NormalizedFormsCollide) {
+  // The property the similarity layer relies on: spelling variants of the
+  // same surface form normalize identically.
+  EXPECT_EQ(NormalizeAttributeName("Author-Name"),
+            NormalizeAttributeName("author_name"));
+  EXPECT_EQ(NormalizeAttributeName("Publication Year"),
+            NormalizeAttributeName("publication__year"));
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("source x", "source "));
+  EXPECT_FALSE(StartsWith("sourc", "source"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+}  // namespace
+}  // namespace mube

@@ -1,0 +1,165 @@
+// Tests for the compound-element extension (paper §2.1): deriving a
+// universe with compound attributes, matching over it with the unchanged
+// pipeline, and projecting derived matches back to n:m correspondences.
+
+#include <gtest/gtest.h>
+
+#include "match/matcher.h"
+#include "schema/compound.h"
+#include "schema/universe.h"
+#include "text/similarity.h"
+#include "text/similarity_matrix.h"
+
+namespace mube {
+namespace {
+
+/// Source 0 exposes a single "first name last name"-style attribute;
+/// source 1 splits it into two. A 1:1 matcher cannot relate them; the
+/// compound expansion can.
+Universe SplitNameUniverse() {
+  Universe u;
+  {
+    Source s(0, "whole.com");
+    s.AddAttribute(Attribute("first name last name"));
+    s.AddAttribute(Attribute("isbn"));
+    s.SetTuples({1, 2, 3});
+    u.AddSource(std::move(s));
+  }
+  {
+    Source s(0, "split.com");
+    s.AddAttribute(Attribute("first name"));
+    s.AddAttribute(Attribute("last name"));
+    s.AddAttribute(Attribute("isbn"));
+    s.characteristics().Set("mttf", 42.0);
+    s.set_cardinality(100);
+    u.AddSource(std::move(s));
+  }
+  return u;
+}
+
+CompoundSpec SplitNameSpec() {
+  CompoundSpec spec;
+  spec.source_id = 1;
+  spec.attr_indices = {0, 1};
+  return spec;
+}
+
+TEST(CompoundTest, BuildValidatesSpecs) {
+  Universe u = SplitNameUniverse();
+
+  CompoundSpec bad_source = SplitNameSpec();
+  bad_source.source_id = 9;
+  EXPECT_FALSE(CompoundExpansion::Build(u, {bad_source}).ok());
+
+  CompoundSpec too_small = SplitNameSpec();
+  too_small.attr_indices = {0};
+  EXPECT_FALSE(CompoundExpansion::Build(u, {too_small}).ok());
+
+  CompoundSpec bad_index = SplitNameSpec();
+  bad_index.attr_indices = {0, 7};
+  EXPECT_FALSE(CompoundExpansion::Build(u, {bad_index}).ok());
+
+  CompoundSpec duplicate = SplitNameSpec();
+  duplicate.attr_indices = {1, 1};
+  EXPECT_FALSE(CompoundExpansion::Build(u, {duplicate}).ok());
+
+  EXPECT_TRUE(CompoundExpansion::Build(u, {SplitNameSpec()}).ok());
+  EXPECT_TRUE(CompoundExpansion::Build(u, {}).ok());  // no-op expansion
+}
+
+TEST(CompoundTest, DerivedUniverseAppendsCompoundAttribute) {
+  Universe u = SplitNameUniverse();
+  auto expansion = CompoundExpansion::Build(u, {SplitNameSpec()});
+  ASSERT_TRUE(expansion.ok());
+  const Universe& derived = expansion.ValueOrDie().derived();
+
+  ASSERT_EQ(derived.size(), 2u);
+  EXPECT_EQ(derived.source(0).attribute_count(), 2u);  // unchanged
+  ASSERT_EQ(derived.source(1).attribute_count(), 4u);  // +1 compound
+  // Default display name = members joined with spaces.
+  EXPECT_EQ(derived.source(1).attribute(3).name, "first name last name");
+  // Data and characteristics carried over.
+  EXPECT_EQ(derived.source(0).tuples(), u.source(0).tuples());
+  EXPECT_EQ(derived.source(1).cardinality(), 100u);
+  EXPECT_EQ(derived.source(1).characteristics().Get("mttf"),
+            std::optional<double>(42.0));
+}
+
+TEST(CompoundTest, CustomDisplayName) {
+  Universe u = SplitNameUniverse();
+  CompoundSpec spec = SplitNameSpec();
+  spec.name = "full name";
+  auto expansion = CompoundExpansion::Build(u, {spec});
+  ASSERT_TRUE(expansion.ok());
+  EXPECT_EQ(expansion.ValueOrDie().derived().source(1).attribute(3).name,
+            "full name");
+}
+
+TEST(CompoundTest, IsCompoundAndOriginalMembers) {
+  Universe u = SplitNameUniverse();
+  auto built = CompoundExpansion::Build(u, {SplitNameSpec()});
+  ASSERT_TRUE(built.ok());
+  const CompoundExpansion& expansion = built.ValueOrDie();
+
+  EXPECT_FALSE(expansion.IsCompound(AttributeRef(1, 0)));
+  EXPECT_FALSE(expansion.IsCompound(AttributeRef(0, 1)));
+  EXPECT_TRUE(expansion.IsCompound(AttributeRef(1, 3)));
+
+  EXPECT_EQ(expansion.OriginalMembers(AttributeRef(0, 1)),
+            (std::vector<AttributeRef>{AttributeRef(0, 1)}));
+  EXPECT_EQ(expansion.OriginalMembers(AttributeRef(1, 3)),
+            (std::vector<AttributeRef>{AttributeRef(1, 0),
+                                       AttributeRef(1, 1)}));
+}
+
+TEST(CompoundTest, EnablesOneToTwoMatch) {
+  // End to end: match the derived universe with the standard pipeline; the
+  // whole-name attribute pairs with the compound element, and projecting
+  // back yields a 1:2 correspondence.
+  Universe u = SplitNameUniverse();
+  auto built = CompoundExpansion::Build(u, {SplitNameSpec()});
+  ASSERT_TRUE(built.ok());
+  const CompoundExpansion& expansion = built.ValueOrDie();
+
+  NGramJaccard measure(3);
+  SimilarityMatrix matrix(expansion.derived(), measure);
+  Matcher matcher(expansion.derived(), matrix);
+  MatchOptions options;
+  options.theta = 0.75;
+  auto result = matcher.Match({0, 1}, options);
+  ASSERT_TRUE(result.ok());
+  const MediatedSchema& schema = result.ValueOrDie().schema;
+
+  // Expect two GAs: {whole.name, split.compound} and {isbn, isbn}.
+  ASSERT_EQ(schema.size(), 2u);
+  const auto groups = expansion.ProjectToOriginal(schema);
+  bool found_nm = false;
+  for (const auto& group : groups) {
+    // The n:m group: one attribute of source 0, two of source 1.
+    size_t from_0 = 0, from_1 = 0;
+    for (const AttributeRef& ref : group) {
+      (ref.source_id == 0 ? from_0 : from_1) += 1;
+    }
+    if (from_0 == 1 && from_1 == 2) found_nm = true;
+  }
+  EXPECT_TRUE(found_nm);
+}
+
+TEST(CompoundTest, ProjectionFlattensAndDedupes) {
+  Universe u = SplitNameUniverse();
+  auto built = CompoundExpansion::Build(u, {SplitNameSpec()});
+  ASSERT_TRUE(built.ok());
+  const CompoundExpansion& expansion = built.ValueOrDie();
+
+  MediatedSchema schema;
+  schema.Add(GlobalAttribute({AttributeRef(0, 0), AttributeRef(1, 3)}));
+  const auto groups = expansion.ProjectToOriginal(schema);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0],
+            (std::vector<AttributeRef>{AttributeRef(0, 0),
+                                       AttributeRef(1, 0),
+                                       AttributeRef(1, 1)}));
+}
+
+}  // namespace
+}  // namespace mube

@@ -1,0 +1,492 @@
+// Tests for src/match: Algorithm 1's constrained greedy similarity
+// clustering — validity guarantees, θ enforcement, the Figure 3 GA-
+// constraint bridging behaviour, source-constraint feasibility, the β
+// bound, and property sweeps over random universes.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "match/matcher.h"
+#include "match/naive_matcher.h"
+#include "schema/universe.h"
+#include "text/similarity.h"
+#include "text/similarity_matrix.h"
+
+namespace mube {
+namespace {
+
+Universe BuildUniverse(const std::vector<std::vector<std::string>>& schemas) {
+  Universe u;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    Source s(0, "src" + std::to_string(i));
+    for (const std::string& attr : schemas[i]) {
+      s.AddAttribute(Attribute(attr));
+    }
+    u.AddSource(std::move(s));
+  }
+  return u;
+}
+
+struct MatchFixture {
+  explicit MatchFixture(const std::vector<std::vector<std::string>>& schemas)
+      : universe(BuildUniverse(schemas)),
+        measure(3),
+        matrix(universe, measure),
+        matcher(universe, matrix) {}
+
+  std::vector<uint32_t> AllSources() const {
+    std::vector<uint32_t> ids;
+    for (uint32_t i = 0; i < universe.size(); ++i) ids.push_back(i);
+    return ids;
+  }
+
+  Universe universe;
+  NGramJaccard measure;
+  SimilarityMatrix matrix;
+  Matcher matcher;
+};
+
+MatchOptions Options(double theta, size_t beta = 2) {
+  MatchOptions o;
+  o.theta = theta;
+  o.beta = beta;
+  return o;
+}
+
+// ----------------------------------------------------------- basic merges --
+
+TEST(MatcherTest, IdenticalNamesCluster) {
+  MatchFixture f({{"title", "price"}, {"title", "author"}, {"title"}});
+  auto result = f.matcher.Match(f.AllSources(), Options(0.75));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MatchResult& m = result.ValueOrDie();
+  ASSERT_TRUE(m.feasible);
+  // One GA: the three "title" attributes. "price"/"author" are dissimilar
+  // singletons and get dropped.
+  ASSERT_EQ(m.schema.size(), 1u);
+  EXPECT_EQ(m.schema.ga(0).size(), 3u);
+  EXPECT_DOUBLE_EQ(m.quality, 1.0);
+}
+
+TEST(MatcherTest, EmptySubsetYieldsEmptyFeasibleSchema) {
+  MatchFixture f({{"title"}});
+  auto result = f.matcher.Match({}, Options(0.75));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie().feasible);
+  EXPECT_TRUE(result.ValueOrDie().schema.empty());
+  EXPECT_DOUBLE_EQ(result.ValueOrDie().quality, 0.0);
+}
+
+TEST(MatcherTest, NoMatchesBelowTheta) {
+  MatchFixture f({{"alpha"}, {"omega"}, {"zebra"}});
+  auto result = f.matcher.Match(f.AllSources(), Options(0.75));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie().feasible);  // no constraints to violate
+  EXPECT_TRUE(result.ValueOrDie().schema.empty());
+}
+
+TEST(MatcherTest, ThetaControlsMerging) {
+  // jaccard3("keyword", "keywords") = 5/6 ≈ 0.833.
+  MatchFixture f({{"keyword"}, {"keywords"}});
+  auto strict = f.matcher.Match(f.AllSources(), Options(0.9));
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict.ValueOrDie().schema.empty());
+
+  auto loose = f.matcher.Match(f.AllSources(), Options(0.8));
+  ASSERT_TRUE(loose.ok());
+  ASSERT_EQ(loose.ValueOrDie().schema.size(), 1u);
+  EXPECT_NEAR(loose.ValueOrDie().quality, 5.0 / 6.0, 1e-6);
+}
+
+TEST(MatcherTest, PerGaQualityIsAtLeastTheta) {
+  MatchFixture f({{"keyword", "title"},
+                  {"keywords", "title"},
+                  {"keyword", "price range"},
+                  {"price range"}});
+  auto result = f.matcher.Match(f.AllSources(), Options(0.75));
+  ASSERT_TRUE(result.ok());
+  const MatchResult& m = result.ValueOrDie();
+  ASSERT_FALSE(m.schema.empty());
+  for (double q : m.ga_quality) EXPECT_GE(q, 0.75);
+}
+
+TEST(MatcherTest, ValidGasOnlyOneAttributePerSource) {
+  // Source 0 has two near-identical attributes; they must never land in
+  // the same GA (Definition 1).
+  MatchFixture f({{"keyword", "keywords"}, {"keyword"}, {"keywords"}});
+  auto result = f.matcher.Match(f.AllSources(), Options(0.75));
+  ASSERT_TRUE(result.ok());
+  const MatchResult& m = result.ValueOrDie();
+  EXPECT_TRUE(m.schema.IsWellFormed());
+  for (const GlobalAttribute& ga : m.schema.gas()) {
+    EXPECT_TRUE(ga.IsValid());
+  }
+}
+
+TEST(MatcherTest, SubsetRestrictsClustering) {
+  MatchFixture f({{"title"}, {"title"}, {"title"}});
+  auto result = f.matcher.Match({0, 2}, Options(0.75));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.ValueOrDie().schema.size(), 1u);
+  EXPECT_EQ(result.ValueOrDie().schema.ga(0).size(), 2u);
+  // Source 1's attribute must not appear.
+  for (const AttributeRef& ref : result.ValueOrDie().schema.ga(0).members()) {
+    EXPECT_NE(ref.source_id, 1u);
+  }
+}
+
+// ------------------------------------------------------ source constraints --
+
+TEST(MatcherTest, SourceConstraintSatisfiedWhenCovered) {
+  MatchFixture f({{"title"}, {"title"}, {"zebra"}});
+  auto result = f.matcher.Match(f.AllSources(), Options(0.75), {0, 1},
+                                MediatedSchema());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie().feasible);
+}
+
+TEST(MatcherTest, SourceConstraintViolatedWhenUncovered) {
+  // Source 2's only attribute matches nothing, so no GA touches it; a
+  // source constraint on it makes the matching infeasible (NULL return of
+  // Algorithm 1).
+  MatchFixture f({{"title"}, {"title"}, {"zebra"}});
+  auto result = f.matcher.Match(f.AllSources(), Options(0.75), {2},
+                                MediatedSchema());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.ValueOrDie().feasible);
+  EXPECT_DOUBLE_EQ(result.ValueOrDie().quality, 0.0);
+  EXPECT_TRUE(result.ValueOrDie().schema.empty());
+}
+
+TEST(MatcherTest, ConstraintOutsideSubsetIsAnError) {
+  MatchFixture f({{"title"}, {"title"}});
+  auto result =
+      f.matcher.Match({0}, Options(0.75), {1}, MediatedSchema());
+  EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------- GA constraints --
+
+TEST(MatcherTest, GaConstraintBridgesDissimilarAttributes) {
+  // The Figure 3 scenario: "f name" and "prenom" share no 3-grams, but the
+  // user knows they are the same concept. The GA constraint keeps them
+  // together AND lets similar attributes join via either endpoint.
+  MatchFixture f({{"f name"},       // 0
+                  {"prenom"},       // 1
+                  {"f names"},      // 2: similar to "f name"
+                  {"prenoms"}});    // 3: similar to "prenom"
+
+  // Without the constraint: two separate clusters at best.
+  auto unconstrained = f.matcher.Match(f.AllSources(), Options(0.6));
+  ASSERT_TRUE(unconstrained.ok());
+  for (const GlobalAttribute& ga : unconstrained.ValueOrDie().schema.gas()) {
+    EXPECT_LE(ga.size(), 2u);
+  }
+
+  // With the constraint: one bridged GA containing all four.
+  MediatedSchema constraints;
+  constraints.Add(
+      GlobalAttribute({AttributeRef(0, 0), AttributeRef(1, 0)}));
+  auto result =
+      f.matcher.Match(f.AllSources(), Options(0.6), {}, constraints);
+  ASSERT_TRUE(result.ok());
+  const MatchResult& m = result.ValueOrDie();
+  ASSERT_TRUE(m.feasible);
+  ASSERT_EQ(m.schema.size(), 1u);
+  EXPECT_EQ(m.schema.ga(0).size(), 4u);
+  EXPECT_TRUE(m.schema.Subsumes(constraints));  // G ⊑ M
+}
+
+TEST(MatcherTest, GaConstraintSurvivesEvenWithLowQuality) {
+  MatchFixture f({{"apple"}, {"zebra"}});
+  MediatedSchema constraints;
+  constraints.Add(
+      GlobalAttribute({AttributeRef(0, 0), AttributeRef(1, 0)}));
+  auto result =
+      f.matcher.Match(f.AllSources(), Options(0.75), {}, constraints);
+  ASSERT_TRUE(result.ok());
+  const MatchResult& m = result.ValueOrDie();
+  ASSERT_TRUE(m.feasible);
+  ASSERT_EQ(m.schema.size(), 1u);
+  // The constraint GA's quality may be below theta — that is allowed for
+  // g ∈ G (§2.5).
+  EXPECT_LT(m.ga_quality[0], 0.75);
+}
+
+TEST(MatcherTest, SingletonGaConstraintKept) {
+  MatchFixture f({{"apple"}, {"zebra"}});
+  MediatedSchema constraints;
+  constraints.Add(GlobalAttribute({AttributeRef(0, 0)}));
+  auto result =
+      f.matcher.Match(f.AllSources(), Options(0.75), {}, constraints);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.ValueOrDie().feasible);
+  ASSERT_EQ(result.ValueOrDie().schema.size(), 1u);
+  EXPECT_EQ(result.ValueOrDie().schema.ga(0).size(), 1u);
+}
+
+TEST(MatcherTest, GaConstraintImplicitSourceCoverage) {
+  // GA constraints count as coverage for validity-on-C: constraint sources
+  // whose only attribute sits in the constraint GA are covered by it.
+  MatchFixture f({{"apple"}, {"zebra"}, {"title"}, {"title"}});
+  MediatedSchema constraints;
+  constraints.Add(
+      GlobalAttribute({AttributeRef(0, 0), AttributeRef(1, 0)}));
+  auto result =
+      f.matcher.Match(f.AllSources(), Options(0.75), {0, 1}, constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie().feasible);
+}
+
+TEST(MatcherTest, MalformedGaConstraintRejected) {
+  MatchFixture f({{"a", "b"}, {"c"}});
+  MediatedSchema constraints;
+  constraints.Add(GlobalAttribute({AttributeRef(0, 0), AttributeRef(0, 1)}));
+  auto result =
+      f.matcher.Match(f.AllSources(), Options(0.75), {}, constraints);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MatcherTest, GaConstraintReferencingSourceOutsideSRejected) {
+  MatchFixture f({{"a"}, {"b"}});
+  MediatedSchema constraints;
+  constraints.Add(GlobalAttribute({AttributeRef(1, 0)}));
+  auto result = f.matcher.Match({0}, Options(0.75), {}, constraints);
+  EXPECT_FALSE(result.ok());
+}
+
+// -------------------------------------------------------------------- beta --
+
+TEST(MatcherTest, BetaFiltersSmallGas) {
+  MatchFixture f({{"title", "keyword"},
+                  {"title", "keyword"},
+                  {"title"},
+                  {"title"}});
+  // title appears in 4 sources, keyword in 2.
+  auto beta2 = f.matcher.Match(f.AllSources(), Options(0.75, 2));
+  ASSERT_TRUE(beta2.ok());
+  EXPECT_EQ(beta2.ValueOrDie().schema.size(), 2u);
+
+  auto beta3 = f.matcher.Match(f.AllSources(), Options(0.75, 3));
+  ASSERT_TRUE(beta3.ok());
+  ASSERT_EQ(beta3.ValueOrDie().schema.size(), 1u);
+  EXPECT_EQ(beta3.ValueOrDie().schema.ga(0).size(), 4u);
+}
+
+TEST(MatcherTest, BetaDoesNotApplyToConstraintGas) {
+  MatchFixture f({{"apple"}, {"zebra"}});
+  MediatedSchema constraints;
+  constraints.Add(
+      GlobalAttribute({AttributeRef(0, 0), AttributeRef(1, 0)}));
+  auto result =
+      f.matcher.Match(f.AllSources(), Options(0.75, 5), {}, constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().schema.size(), 1u);  // survives β = 5
+}
+
+// -------------------------------------------------------- input validation --
+
+TEST(MatcherTest, RejectsBadInputs) {
+  MatchFixture f({{"a"}, {"b"}});
+  EXPECT_FALSE(f.matcher.Match({0, 0}, Options(0.75)).ok());  // duplicate
+  EXPECT_FALSE(f.matcher.Match({9}, Options(0.75)).ok());     // out of range
+  EXPECT_FALSE(f.matcher.Match({0}, Options(1.5)).ok());      // bad theta
+  EXPECT_FALSE(f.matcher.Match({0}, Options(-0.1)).ok());
+}
+
+// -------------------------------------------- chained merges (transitivity) --
+
+TEST(MatcherTest, ChainedMergesAcrossIterations) {
+  // "keyword" ~ "keywords" ~ "key words"? Build a chain where the merged
+  // cluster must merge again in a later iteration: max-linkage means the
+  // cluster {keyword, keywords} still has similarity 5/6 to another
+  // "keyword" attribute.
+  MatchFixture f({{"keyword"}, {"keywords"}, {"keyword"}, {"keywords"}});
+  auto result = f.matcher.Match(f.AllSources(), Options(0.8));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.ValueOrDie().schema.size(), 1u);
+  EXPECT_EQ(result.ValueOrDie().schema.ga(0).size(), 4u);
+}
+
+TEST(MatcherTest, GreedyPrefersHighestSimilarityFirst) {
+  // Sources 0 and 1 both offer near-matches for source 2's "keyword";
+  // exact match (sim 1.0) must win the seat because pairs pop best-first,
+  // and the loser can still join the cluster later via max-linkage only if
+  // its similarity to *any* member clears θ.
+  MatchFixture f({{"keyword"}, {"keywordz"}, {"keyword"}});
+  auto result = f.matcher.Match(f.AllSources(), Options(0.8));
+  ASSERT_TRUE(result.ok());
+  const MatchResult& m = result.ValueOrDie();
+  ASSERT_EQ(m.schema.size(), 1u);
+  // All three end up together: 0-2 merge at 1.0, then 1 joins at 5/6.
+  EXPECT_EQ(m.schema.ga(0).size(), 3u);
+}
+
+// ---------------------------------------------------------------- linkage --
+
+TEST(MatcherTest, MaxLinkageEnablesBridgingAverageDoesNot) {
+  // The DESIGN.md §5.1 ablation as a unit test: a GA constraint bridging
+  // "f name" and "prenom" grows to 4 attributes under max linkage but
+  // freezes at 2 under average linkage (the dissimilar member drags the
+  // mean below θ).
+  MatchFixture f({{"f name"}, {"prenom"}, {"f names"}, {"prenoms"}});
+  MediatedSchema constraints;
+  constraints.Add(GlobalAttribute({AttributeRef(0, 0), AttributeRef(1, 0)}));
+
+  MatchOptions max_options = Options(0.6);
+  max_options.linkage = ClusterLinkage::kMax;
+  auto max_result =
+      f.matcher.Match(f.AllSources(), max_options, {}, constraints);
+  ASSERT_TRUE(max_result.ok());
+  ASSERT_EQ(max_result.ValueOrDie().schema.size(), 1u);
+  EXPECT_EQ(max_result.ValueOrDie().schema.ga(0).size(), 4u);
+
+  MatchOptions avg_options = Options(0.6);
+  avg_options.linkage = ClusterLinkage::kAverage;
+  auto avg_result =
+      f.matcher.Match(f.AllSources(), avg_options, {}, constraints);
+  ASSERT_TRUE(avg_result.ok());
+  // The constraint survives but cannot grow past its dissimilar pair...
+  size_t bridged_size = 0;
+  for (const GlobalAttribute& ga : avg_result.ValueOrDie().schema.gas()) {
+    if (ga.Contains(AttributeRef(0, 0))) bridged_size = ga.size();
+  }
+  EXPECT_EQ(bridged_size, 2u);
+}
+
+TEST(MatcherTest, LinkagesAgreeOnSingletonClusters) {
+  // With only singleton clusters, max and average linkage coincide, so the
+  // first merge decisions are identical.
+  MatchFixture f({{"keyword"}, {"keywords"}});
+  MatchOptions max_options = Options(0.8);
+  MatchOptions avg_options = Options(0.8);
+  avg_options.linkage = ClusterLinkage::kAverage;
+  auto a = f.matcher.Match(f.AllSources(), max_options);
+  auto b = f.matcher.Match(f.AllSources(), avg_options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.ValueOrDie().schema, b.ValueOrDie().schema);
+}
+
+// ---------------------------------------------------------- naive baseline --
+
+TEST(NaiveMatcherTest, FindsComponentsOnCleanInstance) {
+  MatchFixture f({{"title"}, {"title"}, {"keyword"}, {"keyword"}});
+  std::vector<uint32_t> all = f.AllSources();
+  NaiveMatchResult naive =
+      NaiveComponentsMatch(f.universe, f.matrix, all, 0.75);
+  EXPECT_EQ(naive.schema.size(), 2u);
+  EXPECT_EQ(naive.invalid_gas, 0u);
+  EXPECT_DOUBLE_EQ(naive.quality, 1.0);
+  // On conflict-free instances the naive components equal Algorithm 1's
+  // output (as sets of GAs).
+  auto alg1 = f.matcher.Match(all, Options(0.75));
+  ASSERT_TRUE(alg1.ok());
+  EXPECT_EQ(naive.schema.size(), alg1.ValueOrDie().schema.size());
+}
+
+TEST(NaiveMatcherTest, ProducesInvalidGasWhereAlgorithm1CannotBe) {
+  // Source 0 holds both "keyword" and "keywords": the closure glues them
+  // through the other sources' attributes, producing a Definition 1
+  // violation; Algorithm 1 structurally cannot.
+  MatchFixture f({{"keyword", "keywords"}, {"keyword"}, {"keywords"}});
+  std::vector<uint32_t> all = f.AllSources();
+
+  NaiveMatchResult naive =
+      NaiveComponentsMatch(f.universe, f.matrix, all, 0.8);
+  EXPECT_GE(naive.invalid_gas, 1u);
+  EXPECT_FALSE(naive.schema.IsWellFormed());
+
+  auto alg1 = f.matcher.Match(all, Options(0.8));
+  ASSERT_TRUE(alg1.ok());
+  EXPECT_TRUE(alg1.ValueOrDie().schema.IsWellFormed());
+  for (const GlobalAttribute& ga : alg1.ValueOrDie().schema.gas()) {
+    EXPECT_TRUE(ga.IsValid());
+  }
+}
+
+TEST(NaiveMatcherTest, SubsetRestriction) {
+  MatchFixture f({{"title"}, {"title"}, {"title"}});
+  NaiveMatchResult naive =
+      NaiveComponentsMatch(f.universe, f.matrix, {0, 2}, 0.75);
+  ASSERT_EQ(naive.schema.size(), 1u);
+  EXPECT_EQ(naive.schema.ga(0).size(), 2u);
+}
+
+TEST(NaiveMatcherTest, EmptyAndNoMatchCases) {
+  MatchFixture f({{"alpha"}, {"omega"}});
+  NaiveMatchResult none =
+      NaiveComponentsMatch(f.universe, f.matrix, f.AllSources(), 0.75);
+  EXPECT_TRUE(none.schema.empty());
+  EXPECT_DOUBLE_EQ(none.quality, 0.0);
+  NaiveMatchResult empty =
+      NaiveComponentsMatch(f.universe, f.matrix, {}, 0.75);
+  EXPECT_TRUE(empty.schema.empty());
+}
+
+// ------------------------------------------------------------- properties --
+
+class MatcherPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherPropertyTest, RandomUniverseInvariants) {
+  // Random universes built from a small attribute-name pool (to force both
+  // matches and near-misses). Invariants:
+  //  (1) output schema is well-formed;
+  //  (2) every non-constraint GA has >= 2 attributes and quality >= θ;
+  //  (3) overall quality equals the mean of per-GA qualities;
+  //  (4) determinism: same inputs -> same output.
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::vector<std::string> pool = {
+      "title",   "titles",   "book title", "author", "authors",
+      "keyword", "keywords", "isbn",       "price",  "price range",
+      "publisher", "year",   "format",     "zebra",  "quux"};
+
+  std::vector<std::vector<std::string>> schemas;
+  const size_t num_sources = 4 + rng.Uniform(8);
+  for (size_t i = 0; i < num_sources; ++i) {
+    std::vector<std::string> schema;
+    const size_t num_attrs = 1 + rng.Uniform(4);
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(pool.size(),
+                                                             num_attrs);
+    for (size_t p : picks) schema.push_back(pool[p]);
+    schemas.push_back(std::move(schema));
+  }
+
+  MatchFixture f(schemas);
+  const double theta = 0.6 + 0.3 * rng.UniformDouble();
+  auto result = f.matcher.Match(f.AllSources(), Options(theta));
+  ASSERT_TRUE(result.ok());
+  const MatchResult& m = result.ValueOrDie();
+  ASSERT_TRUE(m.feasible);
+
+  EXPECT_TRUE(m.schema.IsWellFormed());
+  ASSERT_EQ(m.ga_quality.size(), m.schema.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < m.schema.size(); ++i) {
+    EXPECT_GE(m.schema.ga(i).size(), 2u);
+    EXPECT_GE(m.ga_quality[i], theta);
+    EXPECT_LE(m.ga_quality[i], 1.0);
+    sum += m.ga_quality[i];
+  }
+  if (!m.schema.empty()) {
+    EXPECT_NEAR(m.quality, sum / static_cast<double>(m.schema.size()), 1e-9);
+  } else {
+    EXPECT_DOUBLE_EQ(m.quality, 0.0);
+  }
+
+  // Determinism.
+  auto again = f.matcher.Match(f.AllSources(), Options(theta));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.ValueOrDie().schema, m.schema);
+  EXPECT_DOUBLE_EQ(again.ValueOrDie().quality, m.quality);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mube
