@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/cross_domain.cpp" "bench/CMakeFiles/cross_domain.dir/cross_domain.cpp.o" "gcc" "bench/CMakeFiles/cross_domain.dir/cross_domain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mube_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mube_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/qef/CMakeFiles/mube_qef.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/mube_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/mube_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/mube_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mube_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/mube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

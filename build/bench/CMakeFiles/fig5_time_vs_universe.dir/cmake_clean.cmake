@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_time_vs_universe.dir/fig5_time_vs_universe.cpp.o"
+  "CMakeFiles/fig5_time_vs_universe.dir/fig5_time_vs_universe.cpp.o.d"
+  "fig5_time_vs_universe"
+  "fig5_time_vs_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_time_vs_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_time_vs_chosen.dir/fig6_time_vs_chosen.cpp.o"
+  "CMakeFiles/fig6_time_vs_chosen.dir/fig6_time_vs_chosen.cpp.o.d"
+  "fig6_time_vs_chosen"
+  "fig6_time_vs_chosen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_vs_chosen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_comparison.dir/optimizer_comparison.cpp.o"
+  "CMakeFiles/optimizer_comparison.dir/optimizer_comparison.cpp.o.d"
+  "optimizer_comparison"
+  "optimizer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

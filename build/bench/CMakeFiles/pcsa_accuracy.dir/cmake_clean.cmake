@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcsa_accuracy.dir/pcsa_accuracy.cpp.o"
+  "CMakeFiles/pcsa_accuracy.dir/pcsa_accuracy.cpp.o.d"
+  "pcsa_accuracy"
+  "pcsa_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcsa_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_cost_completeness.dir/query_cost_completeness.cpp.o"
+  "CMakeFiles/query_cost_completeness.dir/query_cost_completeness.cpp.o.d"
+  "query_cost_completeness"
+  "query_cost_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_cost_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

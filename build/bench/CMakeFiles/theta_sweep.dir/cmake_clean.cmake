@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_sweep.dir/theta_sweep.cpp.o"
+  "CMakeFiles/theta_sweep.dir/theta_sweep.cpp.o.d"
+  "theta_sweep"
+  "theta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncooperative_sources.dir/uncooperative_sources.cpp.o"
+  "CMakeFiles/uncooperative_sources.dir/uncooperative_sources.cpp.o.d"
+  "uncooperative_sources"
+  "uncooperative_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncooperative_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_robustness.dir/weight_robustness.cpp.o"
+  "CMakeFiles/weight_robustness.dir/weight_robustness.cpp.o.d"
+  "weight_robustness"
+  "weight_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_cli.dir/batch_cli.cpp.o"
+  "CMakeFiles/batch_cli.dir/batch_cli.cpp.o.d"
+  "batch_cli"
+  "batch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/books_feedback_loop.dir/books_feedback_loop.cpp.o"
+  "CMakeFiles/books_feedback_loop.dir/books_feedback_loop.cpp.o.d"
+  "books_feedback_loop"
+  "books_feedback_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/books_feedback_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_matching.dir/compound_matching.cpp.o"
+  "CMakeFiles/compound_matching.dir/compound_matching.cpp.o.d"
+  "compound_matching"
+  "compound_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_execution.dir/query_execution.cpp.o"
+  "CMakeFiles/query_execution.dir/query_execution.cpp.o.d"
+  "query_execution"
+  "query_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

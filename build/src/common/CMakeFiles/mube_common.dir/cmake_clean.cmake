@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_common.dir/hash.cc.o"
+  "CMakeFiles/mube_common.dir/hash.cc.o.d"
+  "CMakeFiles/mube_common.dir/logging.cc.o"
+  "CMakeFiles/mube_common.dir/logging.cc.o.d"
+  "CMakeFiles/mube_common.dir/random.cc.o"
+  "CMakeFiles/mube_common.dir/random.cc.o.d"
+  "CMakeFiles/mube_common.dir/status.cc.o"
+  "CMakeFiles/mube_common.dir/status.cc.o.d"
+  "CMakeFiles/mube_common.dir/string_util.cc.o"
+  "CMakeFiles/mube_common.dir/string_util.cc.o.d"
+  "libmube_common.a"
+  "libmube_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_core.dir/config.cc.o"
+  "CMakeFiles/mube_core.dir/config.cc.o.d"
+  "CMakeFiles/mube_core.dir/ground_truth.cc.o"
+  "CMakeFiles/mube_core.dir/ground_truth.cc.o.d"
+  "CMakeFiles/mube_core.dir/mube.cc.o"
+  "CMakeFiles/mube_core.dir/mube.cc.o.d"
+  "CMakeFiles/mube_core.dir/session.cc.o"
+  "CMakeFiles/mube_core.dir/session.cc.o.d"
+  "libmube_core.a"
+  "libmube_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/books_corpus.cc" "src/datagen/CMakeFiles/mube_datagen.dir/books_corpus.cc.o" "gcc" "src/datagen/CMakeFiles/mube_datagen.dir/books_corpus.cc.o.d"
+  "/root/repo/src/datagen/domain.cc" "src/datagen/CMakeFiles/mube_datagen.dir/domain.cc.o" "gcc" "src/datagen/CMakeFiles/mube_datagen.dir/domain.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/datagen/CMakeFiles/mube_datagen.dir/generator.cc.o" "gcc" "src/datagen/CMakeFiles/mube_datagen.dir/generator.cc.o.d"
+  "/root/repo/src/datagen/theater.cc" "src/datagen/CMakeFiles/mube_datagen.dir/theater.cc.o" "gcc" "src/datagen/CMakeFiles/mube_datagen.dir/theater.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/mube_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

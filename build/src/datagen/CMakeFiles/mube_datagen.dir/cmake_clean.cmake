@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_datagen.dir/books_corpus.cc.o"
+  "CMakeFiles/mube_datagen.dir/books_corpus.cc.o.d"
+  "CMakeFiles/mube_datagen.dir/domain.cc.o"
+  "CMakeFiles/mube_datagen.dir/domain.cc.o.d"
+  "CMakeFiles/mube_datagen.dir/generator.cc.o"
+  "CMakeFiles/mube_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/mube_datagen.dir/theater.cc.o"
+  "CMakeFiles/mube_datagen.dir/theater.cc.o.d"
+  "libmube_datagen.a"
+  "libmube_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_exec.dir/executor.cc.o"
+  "CMakeFiles/mube_exec.dir/executor.cc.o.d"
+  "CMakeFiles/mube_exec.dir/query.cc.o"
+  "CMakeFiles/mube_exec.dir/query.cc.o.d"
+  "CMakeFiles/mube_exec.dir/source_engine.cc.o"
+  "CMakeFiles/mube_exec.dir/source_engine.cc.o.d"
+  "CMakeFiles/mube_exec.dir/virtual_data.cc.o"
+  "CMakeFiles/mube_exec.dir/virtual_data.cc.o.d"
+  "libmube_exec.a"
+  "libmube_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

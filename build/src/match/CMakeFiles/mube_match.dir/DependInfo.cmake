@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/matcher.cc" "src/match/CMakeFiles/mube_match.dir/matcher.cc.o" "gcc" "src/match/CMakeFiles/mube_match.dir/matcher.cc.o.d"
+  "/root/repo/src/match/naive_matcher.cc" "src/match/CMakeFiles/mube_match.dir/naive_matcher.cc.o" "gcc" "src/match/CMakeFiles/mube_match.dir/naive_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/mube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mube_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_match.dir/matcher.cc.o"
+  "CMakeFiles/mube_match.dir/matcher.cc.o.d"
+  "CMakeFiles/mube_match.dir/naive_matcher.cc.o"
+  "CMakeFiles/mube_match.dir/naive_matcher.cc.o.d"
+  "libmube_match.a"
+  "libmube_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

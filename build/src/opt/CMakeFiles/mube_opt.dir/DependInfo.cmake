@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/exhaustive.cc" "src/opt/CMakeFiles/mube_opt.dir/exhaustive.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/exhaustive.cc.o.d"
+  "/root/repo/src/opt/greedy_baseline.cc" "src/opt/CMakeFiles/mube_opt.dir/greedy_baseline.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/greedy_baseline.cc.o.d"
+  "/root/repo/src/opt/local_search.cc" "src/opt/CMakeFiles/mube_opt.dir/local_search.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/local_search.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/mube_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/particle_swarm.cc" "src/opt/CMakeFiles/mube_opt.dir/particle_swarm.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/particle_swarm.cc.o.d"
+  "/root/repo/src/opt/problem.cc" "src/opt/CMakeFiles/mube_opt.dir/problem.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/problem.cc.o.d"
+  "/root/repo/src/opt/search_util.cc" "src/opt/CMakeFiles/mube_opt.dir/search_util.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/search_util.cc.o.d"
+  "/root/repo/src/opt/simulated_annealing.cc" "src/opt/CMakeFiles/mube_opt.dir/simulated_annealing.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/simulated_annealing.cc.o.d"
+  "/root/repo/src/opt/tabu_search.cc" "src/opt/CMakeFiles/mube_opt.dir/tabu_search.cc.o" "gcc" "src/opt/CMakeFiles/mube_opt.dir/tabu_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/mube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/qef/CMakeFiles/mube_qef.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/mube_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/mube_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mube_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

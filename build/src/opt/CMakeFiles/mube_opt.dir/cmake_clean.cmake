@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_opt.dir/exhaustive.cc.o"
+  "CMakeFiles/mube_opt.dir/exhaustive.cc.o.d"
+  "CMakeFiles/mube_opt.dir/greedy_baseline.cc.o"
+  "CMakeFiles/mube_opt.dir/greedy_baseline.cc.o.d"
+  "CMakeFiles/mube_opt.dir/local_search.cc.o"
+  "CMakeFiles/mube_opt.dir/local_search.cc.o.d"
+  "CMakeFiles/mube_opt.dir/optimizer.cc.o"
+  "CMakeFiles/mube_opt.dir/optimizer.cc.o.d"
+  "CMakeFiles/mube_opt.dir/particle_swarm.cc.o"
+  "CMakeFiles/mube_opt.dir/particle_swarm.cc.o.d"
+  "CMakeFiles/mube_opt.dir/problem.cc.o"
+  "CMakeFiles/mube_opt.dir/problem.cc.o.d"
+  "CMakeFiles/mube_opt.dir/search_util.cc.o"
+  "CMakeFiles/mube_opt.dir/search_util.cc.o.d"
+  "CMakeFiles/mube_opt.dir/simulated_annealing.cc.o"
+  "CMakeFiles/mube_opt.dir/simulated_annealing.cc.o.d"
+  "CMakeFiles/mube_opt.dir/tabu_search.cc.o"
+  "CMakeFiles/mube_opt.dir/tabu_search.cc.o.d"
+  "libmube_opt.a"
+  "libmube_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qef/characteristic_qef.cc" "src/qef/CMakeFiles/mube_qef.dir/characteristic_qef.cc.o" "gcc" "src/qef/CMakeFiles/mube_qef.dir/characteristic_qef.cc.o.d"
+  "/root/repo/src/qef/data_qefs.cc" "src/qef/CMakeFiles/mube_qef.dir/data_qefs.cc.o" "gcc" "src/qef/CMakeFiles/mube_qef.dir/data_qefs.cc.o.d"
+  "/root/repo/src/qef/match_qef.cc" "src/qef/CMakeFiles/mube_qef.dir/match_qef.cc.o" "gcc" "src/qef/CMakeFiles/mube_qef.dir/match_qef.cc.o.d"
+  "/root/repo/src/qef/qef.cc" "src/qef/CMakeFiles/mube_qef.dir/qef.cc.o" "gcc" "src/qef/CMakeFiles/mube_qef.dir/qef.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/mube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/mube_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/mube_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mube_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

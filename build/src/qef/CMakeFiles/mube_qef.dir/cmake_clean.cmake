@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_qef.dir/characteristic_qef.cc.o"
+  "CMakeFiles/mube_qef.dir/characteristic_qef.cc.o.d"
+  "CMakeFiles/mube_qef.dir/data_qefs.cc.o"
+  "CMakeFiles/mube_qef.dir/data_qefs.cc.o.d"
+  "CMakeFiles/mube_qef.dir/match_qef.cc.o"
+  "CMakeFiles/mube_qef.dir/match_qef.cc.o.d"
+  "CMakeFiles/mube_qef.dir/qef.cc.o"
+  "CMakeFiles/mube_qef.dir/qef.cc.o.d"
+  "libmube_qef.a"
+  "libmube_qef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_qef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mube_qef.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/attribute.cc" "src/schema/CMakeFiles/mube_schema.dir/attribute.cc.o" "gcc" "src/schema/CMakeFiles/mube_schema.dir/attribute.cc.o.d"
+  "/root/repo/src/schema/compound.cc" "src/schema/CMakeFiles/mube_schema.dir/compound.cc.o" "gcc" "src/schema/CMakeFiles/mube_schema.dir/compound.cc.o.d"
+  "/root/repo/src/schema/global_attribute.cc" "src/schema/CMakeFiles/mube_schema.dir/global_attribute.cc.o" "gcc" "src/schema/CMakeFiles/mube_schema.dir/global_attribute.cc.o.d"
+  "/root/repo/src/schema/mediated_schema.cc" "src/schema/CMakeFiles/mube_schema.dir/mediated_schema.cc.o" "gcc" "src/schema/CMakeFiles/mube_schema.dir/mediated_schema.cc.o.d"
+  "/root/repo/src/schema/serialization.cc" "src/schema/CMakeFiles/mube_schema.dir/serialization.cc.o" "gcc" "src/schema/CMakeFiles/mube_schema.dir/serialization.cc.o.d"
+  "/root/repo/src/schema/source.cc" "src/schema/CMakeFiles/mube_schema.dir/source.cc.o" "gcc" "src/schema/CMakeFiles/mube_schema.dir/source.cc.o.d"
+  "/root/repo/src/schema/universe.cc" "src/schema/CMakeFiles/mube_schema.dir/universe.cc.o" "gcc" "src/schema/CMakeFiles/mube_schema.dir/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_schema.dir/attribute.cc.o"
+  "CMakeFiles/mube_schema.dir/attribute.cc.o.d"
+  "CMakeFiles/mube_schema.dir/compound.cc.o"
+  "CMakeFiles/mube_schema.dir/compound.cc.o.d"
+  "CMakeFiles/mube_schema.dir/global_attribute.cc.o"
+  "CMakeFiles/mube_schema.dir/global_attribute.cc.o.d"
+  "CMakeFiles/mube_schema.dir/mediated_schema.cc.o"
+  "CMakeFiles/mube_schema.dir/mediated_schema.cc.o.d"
+  "CMakeFiles/mube_schema.dir/serialization.cc.o"
+  "CMakeFiles/mube_schema.dir/serialization.cc.o.d"
+  "CMakeFiles/mube_schema.dir/source.cc.o"
+  "CMakeFiles/mube_schema.dir/source.cc.o.d"
+  "CMakeFiles/mube_schema.dir/universe.cc.o"
+  "CMakeFiles/mube_schema.dir/universe.cc.o.d"
+  "libmube_schema.a"
+  "libmube_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/exact_counter.cc" "src/sketch/CMakeFiles/mube_sketch.dir/exact_counter.cc.o" "gcc" "src/sketch/CMakeFiles/mube_sketch.dir/exact_counter.cc.o.d"
+  "/root/repo/src/sketch/pcsa.cc" "src/sketch/CMakeFiles/mube_sketch.dir/pcsa.cc.o" "gcc" "src/sketch/CMakeFiles/mube_sketch.dir/pcsa.cc.o.d"
+  "/root/repo/src/sketch/signature_cache.cc" "src/sketch/CMakeFiles/mube_sketch.dir/signature_cache.cc.o" "gcc" "src/sketch/CMakeFiles/mube_sketch.dir/signature_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/mube_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_sketch.dir/exact_counter.cc.o"
+  "CMakeFiles/mube_sketch.dir/exact_counter.cc.o.d"
+  "CMakeFiles/mube_sketch.dir/pcsa.cc.o"
+  "CMakeFiles/mube_sketch.dir/pcsa.cc.o.d"
+  "CMakeFiles/mube_sketch.dir/signature_cache.cc.o"
+  "CMakeFiles/mube_sketch.dir/signature_cache.cc.o.d"
+  "libmube_sketch.a"
+  "libmube_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mube_text.dir/ngram.cc.o"
+  "CMakeFiles/mube_text.dir/ngram.cc.o.d"
+  "CMakeFiles/mube_text.dir/similarity.cc.o"
+  "CMakeFiles/mube_text.dir/similarity.cc.o.d"
+  "CMakeFiles/mube_text.dir/similarity_matrix.cc.o"
+  "CMakeFiles/mube_text.dir/similarity_matrix.cc.o.d"
+  "libmube_text.a"
+  "libmube_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mube_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_test.dir/compound_test.cpp.o"
+  "CMakeFiles/compound_test.dir/compound_test.cpp.o.d"
+  "compound_test"
+  "compound_test.pdb"
+  "compound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qef_test.dir/qef_test.cpp.o"
+  "CMakeFiles/qef_test.dir/qef_test.cpp.o.d"
+  "qef_test"
+  "qef_test.pdb"
+  "qef_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
