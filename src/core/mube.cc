@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/timer.h"
+#include "dynamic/churn.h"
 #include "qef/characteristic_qef.h"
 #include "qef/data_qefs.h"
 #include "qef/match_qef.h"
@@ -56,6 +57,9 @@ Result<MubeResult> Mube::Run(const RunSpec& spec) const {
     if (opt_options.patience > 0) {
       opt_options.patience = std::max<size_t>(1, *spec.max_evaluations / 3);
     }
+  }
+  if (spec.initial_solution.has_value()) {
+    opt_options.initial_solution = *spec.initial_solution;
   }
   const std::string optimizer_name =
       spec.optimizer.value_or(config_.optimizer);
@@ -143,6 +147,23 @@ Result<MubeResult> Mube::Run(const RunSpec& spec) const {
     result.qef_names.push_back(qspec.DisplayName());
   }
   return result;
+}
+
+Status Mube::ApplyDelta(const ChurnDelta& delta) {
+  if (delta.empty()) return Status::OK();
+  if (config_.similarity_measure == "tfidf_cosine") {
+    // Document frequencies are corpus-wide: any schema change moves every
+    // idf weight, so every pair is dirty. Rebuild in place (the Matcher
+    // holds a reference to the matrix, which must stay put).
+    measure_ = TfIdfCosineSimilarity::FromUniverse(*universe_);
+    similarity_->Rebuild(*universe_, *measure_, config_.similarity_threads);
+  } else {
+    similarity_->ApplyChurn(*universe_, *measure_,
+                            delta.DirtySchemaSources(),
+                            config_.similarity_threads);
+  }
+  signatures_->ApplyChurn(*universe_, delta.DirtyDataSources());
+  return Status::OK();
 }
 
 Result<std::vector<MubeResult>> Mube::RunAlternatives(

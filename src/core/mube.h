@@ -24,6 +24,8 @@
 
 namespace mube {
 
+struct ChurnDelta;
+
 /// \brief Per-run user inputs: the constraints C and G, plus optional
 /// overrides of config knobs the user dials between iterations.
 struct RunSpec {
@@ -42,6 +44,11 @@ struct RunSpec {
   /// running comparative sweeps typically scale the budget down with the
   /// constraint count, as classic full-neighborhood tabu search would.
   std::optional<size_t> max_evaluations;
+  /// Warm-start hint: a previous solution to seed the search from (see
+  /// src/dynamic/re_optimizer.h). Repaired, not trusted — dead or duplicate
+  /// members are evicted and the set refilled to the target size. Honored
+  /// by tabu and sls; other solvers ignore it.
+  std::optional<std::vector<uint32_t>> initial_solution;
 };
 
 /// \brief One µBE answer.
@@ -80,6 +87,15 @@ class Mube {
   /// fails; individual infeasible attempts are dropped.
   Result<std::vector<MubeResult>> RunAlternatives(const RunSpec& spec,
                                                   size_t attempts) const;
+
+  /// Reconciles the engine's derived state (similarity matrix, signature
+  /// cache) with a universe that was mutated by churn, incrementally:
+  /// only pairs/sketches touching a source in `delta` are recomputed. The
+  /// one exception is a corpus-derived similarity measure (tfidf_cosine),
+  /// whose document frequencies shift under any schema change — there the
+  /// measure and the full matrix are rebuilt in place. Call after every
+  /// applied churn batch and before the next Run.
+  Status ApplyDelta(const ChurnDelta& delta);
 
   const Universe& universe() const { return *universe_; }
   const MubeConfig& config() const { return config_; }

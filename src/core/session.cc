@@ -17,6 +17,18 @@ Result<std::unique_ptr<Session>> Session::Create(const Universe* universe,
   return std::unique_ptr<Session>(new Session(std::move(mube)));
 }
 
+Result<std::unique_ptr<Session>> Session::Create(DeltaUniverse* universe,
+                                                 MubeConfig config) {
+  if (universe == nullptr) {
+    return Status::InvalidArgument("Session: null DeltaUniverse");
+  }
+  MUBE_ASSIGN_OR_RETURN(
+      std::unique_ptr<Session> session,
+      Create(&universe->universe(), std::move(config)));
+  session->delta_universe_ = universe;
+  return session;
+}
+
 Status Session::PinSource(const std::string& name) {
   std::optional<uint32_t> sid = mube_->universe().FindSource(name);
   if (!sid.has_value()) {
@@ -28,6 +40,11 @@ Status Session::PinSource(const std::string& name) {
 Status Session::PinSource(uint32_t source_id) {
   if (source_id >= mube_->universe().size()) {
     return Status::InvalidArgument("source id out of range");
+  }
+  if (!mube_->universe().alive(source_id)) {
+    return Status::FailedPrecondition(
+        "source '" + mube_->universe().source(source_id).name() +
+        "' has been removed from the universe");
   }
   auto pos = std::lower_bound(pinned_sources_.begin(), pinned_sources_.end(),
                               source_id);
@@ -131,7 +148,7 @@ Status Session::SetOptimizer(const std::string& name) {
   return Status::OK();
 }
 
-Result<MubeResult> Session::Iterate() {
+RunSpec Session::BuildRunSpec() const {
   RunSpec spec;
   spec.source_constraints = pinned_sources_;
   spec.ga_constraints = ga_constraints_;
@@ -142,10 +159,75 @@ Result<MubeResult> Session::Iterate() {
   // Vary the seed across iterations so re-running the same problem can
   // escape an unlucky search trajectory, while staying reproducible.
   spec.seed = seed_ + history_.size();
+  return spec;
+}
 
+Result<MubeResult> Session::Iterate() {
+  MUBE_ASSIGN_OR_RETURN(MubeResult result, mube_->Run(BuildRunSpec()));
+  history_.push_back(std::move(result));
+  // A full fresh solve accounts for all catalog changes so far.
+  pending_churn_ = ChurnDelta();
+  return history_.back();
+}
+
+Status Session::ApplyChurn(const std::vector<ChurnEvent>& events) {
+  if (delta_universe_ == nullptr) {
+    return Status::FailedPrecondition(
+        "session was created over a static universe; churn requires the "
+        "DeltaUniverse constructor");
+  }
+  ChurnDelta delta;
+  size_t applied = 0;
+  Status status = delta_universe_->ApplyAll(events, &delta, &applied);
+  if (!delta.empty()) {
+    // Even a partially applied batch mutated the catalog: reconcile the
+    // engine and the constraint state for the applied prefix.
+    MUBE_RETURN_IF_ERROR(mube_->ApplyDelta(delta));
+    PruneStaleConstraints();
+    pending_churn_.MergeFrom(delta);
+    for (size_t i = 0; i < applied; ++i) churn_log_.Append(events[i]);
+  }
+  return status;
+}
+
+Result<MubeResult> Session::ReIterate() {
+  if (!has_result() || pending_churn_.empty()) return Iterate();
+  const ReOptimizer planner(reopt_options_);
+  const ReOptimizePlan plan = planner.Plan(
+      mube_->universe(), pending_churn_, last_result().solution.sources,
+      mube_->config().optimizer_options.max_evaluations);
+  RunSpec spec = BuildRunSpec();
+  if (plan.warm) {
+    spec.initial_solution = plan.initial_solution;
+    spec.max_evaluations = plan.max_evaluations;
+  }
   MUBE_ASSIGN_OR_RETURN(MubeResult result, mube_->Run(spec));
   history_.push_back(std::move(result));
+  pending_churn_ = ChurnDelta();
   return history_.back();
+}
+
+void Session::PruneStaleConstraints() {
+  const Universe& universe = mube_->universe();
+  pinned_sources_.erase(
+      std::remove_if(pinned_sources_.begin(), pinned_sources_.end(),
+                     [&](uint32_t sid) { return !universe.alive(sid); }),
+      pinned_sources_.end());
+  bool dropped = false;
+  MediatedSchema kept;
+  for (const GlobalAttribute& ga : ga_constraints_.gas()) {
+    const bool stale =
+        std::any_of(ga.members().begin(), ga.members().end(),
+                    [&](const AttributeRef& ref) {
+                      return !universe.alive(ref.source_id);
+                    });
+    if (stale) {
+      dropped = true;
+    } else {
+      kept.Add(ga);
+    }
+  }
+  if (dropped) ga_constraints_ = std::move(kept);
 }
 
 std::string Session::RenderLastResult() const {

@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "core/mube.h"
+#include "dynamic/churn.h"
+#include "dynamic/delta_universe.h"
+#include "dynamic/re_optimizer.h"
 
 /// \file session.h
 /// The iterative feedback loop of paper §6: the user runs µBE, inspects the
@@ -14,6 +17,11 @@
 /// constraints, re-weighting QEFs, moving θ or m — and runs again. Session
 /// is the programmatic embodiment of that loop (the GUI in the paper's
 /// Figure 4 sits on exactly this surface).
+///
+/// A session created over a DeltaUniverse additionally rides out source
+/// churn: ApplyChurn(events) mutates the catalog and incrementally
+/// reconciles the engine's caches, and ReIterate() re-optimizes warm from
+/// the previous solution when the churn was small (src/dynamic).
 
 namespace mube {
 
@@ -22,6 +30,12 @@ class Session {
  public:
   /// Builds the engine and an empty constraint state.
   static Result<std::unique_ptr<Session>> Create(const Universe* universe,
+                                                 MubeConfig config);
+
+  /// Builds a churn-capable session over a mutable catalog. `universe`
+  /// must outlive the session and must not be mutated behind its back —
+  /// ApplyChurn is the only supported write path once the session exists.
+  static Result<std::unique_ptr<Session>> Create(DeltaUniverse* universe,
                                                  MubeConfig config);
 
   Session(const Session&) = delete;
@@ -57,6 +71,37 @@ class Session {
   /// the result to history().
   Result<MubeResult> Iterate();
 
+  /// \name Source churn (requires the DeltaUniverse constructor)
+  /// @{
+  /// Applies a batch of churn events to the catalog, incrementally
+  /// reconciles the engine's similarity matrix and signature cache, prunes
+  /// constraint state referencing removed sources (pins silently; a GA
+  /// constraint is dropped whole if any member's source was removed), logs
+  /// the applied events, and folds the batch into the pending churn that
+  /// the next ReIterate() plans against. On failure the events *before*
+  /// the failing one remain applied (and reconciled/logged); the failing
+  /// event and everything after it do not.
+  Status ApplyChurn(const std::vector<ChurnEvent>& events);
+
+  /// Runs the next iteration warm: seeded from the last result's solution
+  /// with a reduced evaluation budget when the pending churn is small
+  /// (see ReOptimizer), cold otherwise. Without a previous result or any
+  /// pending churn this degrades to a plain Iterate(). A successful
+  /// iteration (warm or plain) clears the pending churn.
+  Result<MubeResult> ReIterate();
+
+  /// All churn events ever applied through this session, in order —
+  /// serialize via ChurnLog for deterministic replay.
+  const ChurnLog& churn_log() const { return churn_log_; }
+
+  /// Churn applied since the last successful iteration.
+  const ChurnDelta& pending_churn() const { return pending_churn_; }
+
+  void SetReOptimizerOptions(ReOptimizerOptions options) {
+    reopt_options_ = options;
+  }
+  /// @}
+
   /// All iteration results, oldest first.
   const std::vector<MubeResult>& history() const { return history_; }
   bool has_result() const { return !history_.empty(); }
@@ -89,7 +134,17 @@ class Session {
  private:
   explicit Session(std::unique_ptr<Mube> mube) : mube_(std::move(mube)) {}
 
+  /// Drops pins and GA constraints referencing retired sources.
+  void PruneStaleConstraints();
+
+  /// Assembles the RunSpec for the current constraint state and knobs.
+  RunSpec BuildRunSpec() const;
+
   std::unique_ptr<Mube> mube_;
+  DeltaUniverse* delta_universe_ = nullptr;  // null = static catalog
+  ChurnDelta pending_churn_;
+  ChurnLog churn_log_;
+  ReOptimizerOptions reopt_options_;
   std::vector<uint32_t> pinned_sources_;  // sorted
   MediatedSchema ga_constraints_;
   std::vector<double> weights_;  // empty = config defaults

@@ -1,0 +1,298 @@
+#include "dynamic/churn.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mube {
+
+namespace {
+
+bool HasWhitespace(const std::string& s) {
+  return std::any_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+void AppendDouble(std::ostringstream& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+/// Merges `extra` into sorted-unique `into`.
+void UnionInto(std::vector<uint32_t>* into,
+               const std::vector<uint32_t>& extra) {
+  into->insert(into->end(), extra.begin(), extra.end());
+  std::sort(into->begin(), into->end());
+  into->erase(std::unique(into->begin(), into->end()), into->end());
+}
+
+}  // namespace
+
+ChurnEvent ChurnEvent::AddSource(Source source) {
+  ChurnEvent event;
+  event.kind = Kind::kAddSource;
+  event.source_name = source.name();
+  event.source = std::move(source);
+  return event;
+}
+
+ChurnEvent ChurnEvent::RemoveSource(std::string name) {
+  ChurnEvent event;
+  event.kind = Kind::kRemoveSource;
+  event.source_name = std::move(name);
+  return event;
+}
+
+ChurnEvent ChurnEvent::UpdateTuples(std::string name,
+                                    std::vector<uint64_t> tuples) {
+  ChurnEvent event;
+  event.kind = Kind::kUpdateTuples;
+  event.source_name = std::move(name);
+  event.tuples = std::move(tuples);
+  return event;
+}
+
+ChurnEvent ChurnEvent::RenameAttribute(std::string name, uint32_t attr_index,
+                                       std::string new_name) {
+  ChurnEvent event;
+  event.kind = Kind::kRenameAttribute;
+  event.source_name = std::move(name);
+  event.attr_index = attr_index;
+  event.new_name = std::move(new_name);
+  return event;
+}
+
+ChurnEvent ChurnEvent::SetCooperative(std::string name, bool cooperative) {
+  ChurnEvent event;
+  event.kind = Kind::kSetCooperative;
+  event.source_name = std::move(name);
+  event.cooperative = cooperative;
+  return event;
+}
+
+std::vector<uint32_t> ChurnDelta::DirtySchemaSources() const {
+  std::vector<uint32_t> dirty = added;
+  UnionInto(&dirty, removed);
+  UnionInto(&dirty, schema_changed);
+  return dirty;
+}
+
+std::vector<uint32_t> ChurnDelta::DirtyDataSources() const {
+  std::vector<uint32_t> dirty = added;
+  UnionInto(&dirty, removed);
+  UnionInto(&dirty, data_changed);
+  return dirty;
+}
+
+double ChurnDelta::ChurnFraction() const {
+  if (empty()) return 0.0;
+  if (alive_before == 0) return 1.0;
+  std::vector<uint32_t> touched = added;
+  UnionInto(&touched, removed);
+  UnionInto(&touched, schema_changed);
+  UnionInto(&touched, data_changed);
+  return static_cast<double>(touched.size()) /
+         static_cast<double>(alive_before);
+}
+
+void ChurnDelta::MergeFrom(const ChurnDelta& other) {
+  if (empty()) alive_before = other.alive_before;
+  UnionInto(&added, other.added);
+  UnionInto(&removed, other.removed);
+  UnionInto(&schema_changed, other.schema_changed);
+  UnionInto(&data_changed, other.data_changed);
+}
+
+void ChurnLog::Append(const std::vector<ChurnEvent>& events) {
+  events_.insert(events_.end(), events.begin(), events.end());
+}
+
+Result<std::string> ChurnLog::Serialize() const {
+  std::ostringstream out;
+  out << "# mube churn log v1\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const ChurnEvent& event = events_[i];
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("churn log event " + std::to_string(i) +
+                                     ": " + why);
+    };
+    const std::string& name = event.kind == ChurnEvent::Kind::kAddSource
+                                  ? event.source.name()
+                                  : event.source_name;
+    if (name.empty() || HasWhitespace(name)) {
+      return fail("source name '" + name +
+                  "' is empty or contains whitespace");
+    }
+    switch (event.kind) {
+      case ChurnEvent::Kind::kAddSource: {
+        out << "add " << name << "\n";
+        for (const Attribute& attr : event.source.attributes()) {
+          out << "attr " << attr.concept_id << " " << attr.name << "\n";
+        }
+        if (!event.source.tuples().empty()) {
+          out << "tuples";
+          for (uint64_t id : event.source.tuples()) out << " " << id;
+          out << "\n";
+        }
+        if (event.source.cardinality() != event.source.tuples().size()) {
+          out << "card " << event.source.cardinality() << "\n";
+        }
+        for (const auto& [key, value] :
+             event.source.characteristics().values()) {
+          if (key.empty() || HasWhitespace(key)) {
+            return fail("characteristic name '" + key +
+                        "' is empty or contains whitespace");
+          }
+          out << "char " << key << " ";
+          AppendDouble(out, value);
+          out << "\n";
+        }
+        out << "coop " << (event.source.has_tuples() ? 1 : 0) << "\n";
+        out << "end\n";
+        break;
+      }
+      case ChurnEvent::Kind::kRemoveSource:
+        out << "remove " << name << "\n";
+        break;
+      case ChurnEvent::Kind::kUpdateTuples: {
+        out << "update " << name;
+        for (uint64_t id : event.tuples) out << " " << id;
+        out << "\n";
+        break;
+      }
+      case ChurnEvent::Kind::kRenameAttribute:
+        out << "rename " << name << " " << event.attr_index << " "
+            << event.new_name << "\n";
+        break;
+      case ChurnEvent::Kind::kSetCooperative:
+        out << "cooperative " << name << " " << (event.cooperative ? 1 : 0)
+            << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+Result<ChurnLog> ChurnLog::Parse(const std::string& blob) {
+  ChurnLog log;
+  // Non-null while inside an `add ... end` block.
+  std::optional<Source> pending;
+  bool pending_cooperative = true;
+  bool pending_has_card = false;
+  uint64_t pending_card = 0;
+
+  int line_no = 0;
+  for (const std::string& raw : Split(blob, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("churn log line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    std::istringstream in{std::string(line)};
+    std::string directive;
+    in >> directive;
+    auto rest_of = [&](std::istringstream& stream) {
+      std::string rest;
+      std::getline(stream, rest);
+      return std::string(Trim(rest));
+    };
+
+    if (pending.has_value()) {
+      if (directive == "attr") {
+        int32_t concept_id = 0;
+        if (!(in >> concept_id)) return fail("attr: bad concept id");
+        const std::string attr_name = rest_of(in);
+        if (attr_name.empty()) return fail("attr: missing name");
+        pending->AddAttribute(Attribute(attr_name, concept_id));
+      } else if (directive == "tuples") {
+        std::vector<uint64_t> tuples;
+        uint64_t id = 0;
+        while (in >> id) tuples.push_back(id);
+        if (!in.eof()) return fail("tuples: bad tuple id");
+        pending->SetTuples(std::move(tuples));
+      } else if (directive == "card") {
+        if (!(in >> pending_card)) return fail("card: bad cardinality");
+        pending_has_card = true;
+      } else if (directive == "char") {
+        std::string key;
+        double value = 0.0;
+        if (!(in >> key >> value)) return fail("char: want <name> <value>");
+        pending->characteristics().Set(key, value);
+      } else if (directive == "coop") {
+        int flag = -1;
+        if (!(in >> flag) || (flag != 0 && flag != 1)) {
+          return fail("coop: want 0 or 1");
+        }
+        pending_cooperative = flag == 1;
+      } else if (directive == "end") {
+        if (pending_has_card) pending->set_cardinality(pending_card);
+        if (!pending_cooperative) {
+          // Always allowed: withdrawing cooperation needs no tuples.
+          (void)pending->SetCooperative(false);
+        } else if (!pending->has_tuples()) {
+          return fail("add block for '" + pending->name() +
+                      "': cooperative but no tuples");
+        }
+        log.Append(ChurnEvent::AddSource(std::move(*pending)));
+        pending.reset();
+      } else {
+        return fail("unknown add-block directive: " + directive);
+      }
+      continue;
+    }
+
+    if (directive == "add") {
+      std::string name;
+      if (!(in >> name)) return fail("add: missing source name");
+      pending.emplace(0, std::move(name));
+      pending_cooperative = true;
+      pending_has_card = false;
+      pending_card = 0;
+    } else if (directive == "remove") {
+      std::string name;
+      if (!(in >> name)) return fail("remove: missing source name");
+      log.Append(ChurnEvent::RemoveSource(std::move(name)));
+    } else if (directive == "update") {
+      std::string name;
+      if (!(in >> name)) return fail("update: missing source name");
+      std::vector<uint64_t> tuples;
+      uint64_t id = 0;
+      while (in >> id) tuples.push_back(id);
+      if (!in.eof()) return fail("update: bad tuple id");
+      log.Append(ChurnEvent::UpdateTuples(std::move(name),
+                                          std::move(tuples)));
+    } else if (directive == "rename") {
+      std::string name;
+      uint32_t attr_index = 0;
+      if (!(in >> name >> attr_index)) {
+        return fail("rename: want <source> <attr_index> <new name>");
+      }
+      const std::string new_name = rest_of(in);
+      if (new_name.empty()) return fail("rename: missing new name");
+      log.Append(
+          ChurnEvent::RenameAttribute(std::move(name), attr_index, new_name));
+    } else if (directive == "cooperative") {
+      std::string name;
+      int flag = -1;
+      if (!(in >> name >> flag) || (flag != 0 && flag != 1)) {
+        return fail("cooperative: want <source> 0|1");
+      }
+      log.Append(ChurnEvent::SetCooperative(std::move(name), flag == 1));
+    } else {
+      return fail("unknown directive: " + directive);
+    }
+  }
+  if (pending.has_value()) {
+    return Status::InvalidArgument("churn log: unterminated add block for '" +
+                                   pending->name() + "'");
+  }
+  return log;
+}
+
+}  // namespace mube

@@ -1,0 +1,135 @@
+#ifndef MUBE_DYNAMIC_CHURN_H_
+#define MUBE_DYNAMIC_CHURN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/source.h"
+
+/// \file churn.h
+/// The vocabulary of source churn. An internet-scale universe is not a
+/// static catalog (paper §2.1 assumes one per session; §8 names dynamic
+/// universes as open work): sources appear, disappear, re-crawl their data,
+/// rename schema elements, and start or stop cooperating. A ChurnEvent
+/// describes one such edit against the catalog; a ChurnDelta summarizes a
+/// batch of applied events in exactly the terms the incremental maintenance
+/// layer needs (which source ids changed schema-wise vs data-wise); a
+/// ChurnLog is a serializable record of events for deterministic replay.
+///
+/// Events address sources *by name*, not id: ids are an artifact of
+/// insertion order inside one universe, while a recorded log should replay
+/// against a rebuilt catalog. Resolution happens at Apply time in
+/// DeltaUniverse.
+
+namespace mube {
+
+/// \brief One edit to the universe.
+struct ChurnEvent {
+  enum class Kind {
+    kAddSource,       ///< a new source joins the universe
+    kRemoveSource,    ///< a source disappears (retired, id tombstoned)
+    kUpdateTuples,    ///< a source re-crawled: new tuple ids (and cardinality)
+    kRenameAttribute, ///< one attribute of a source changes its name
+    kSetCooperative,  ///< a source starts/stops shipping tuples+signature
+  };
+
+  Kind kind = Kind::kAddSource;
+  /// kAddSource: the fully built source to insert (its id is ignored; the
+  /// universe assigns the next free slot).
+  Source source;
+  /// All other kinds: name of the (live) source the event addresses.
+  std::string source_name;
+  /// kUpdateTuples: the new tuple ids.
+  std::vector<uint64_t> tuples;
+  /// kRenameAttribute: which attribute, and its new raw name.
+  uint32_t attr_index = 0;
+  std::string new_name;
+  /// kSetCooperative: the new cooperation state.
+  bool cooperative = false;
+
+  /// \name Factories (the only supported way to build events)
+  /// @{
+  static ChurnEvent AddSource(Source source);
+  static ChurnEvent RemoveSource(std::string name);
+  static ChurnEvent UpdateTuples(std::string name,
+                                 std::vector<uint64_t> tuples);
+  static ChurnEvent RenameAttribute(std::string name, uint32_t attr_index,
+                                    std::string new_name);
+  static ChurnEvent SetCooperative(std::string name, bool cooperative);
+  /// @}
+};
+
+/// \brief Summary of a batch of *applied* churn events, in maintenance
+/// terms. Produced by DeltaUniverse::Apply; consumed by
+/// SimilarityMatrix::ApplyChurn (schema-dirty sources), by
+/// SignatureCache::ApplyChurn (data-dirty sources), and by the ReOptimizer
+/// (churn fraction).
+struct ChurnDelta {
+  /// Ids assigned to sources added by the batch.
+  std::vector<uint32_t> added;
+  /// Ids of sources retired by the batch.
+  std::vector<uint32_t> removed;
+  /// Ids of pre-existing live sources whose attribute names changed.
+  std::vector<uint32_t> schema_changed;
+  /// Ids of pre-existing live sources whose tuples/cooperation changed.
+  std::vector<uint32_t> data_changed;
+  /// Live-source count before the first event applied (denominator of
+  /// ChurnFraction). 0 until the delta first records an event.
+  size_t alive_before = 0;
+
+  bool empty() const {
+    return added.empty() && removed.empty() && schema_changed.empty() &&
+           data_changed.empty();
+  }
+
+  /// Sources whose *attribute sets* differ from the last reconciliation:
+  /// what SimilarityMatrix::ApplyChurn must re-evaluate. Sorted, unique.
+  std::vector<uint32_t> DirtySchemaSources() const;
+
+  /// Sources whose *shipped data* differs: what SignatureCache::ApplyChurn
+  /// must re-sketch or tombstone. Sorted, unique.
+  std::vector<uint32_t> DirtyDataSources() const;
+
+  /// Fraction of the pre-churn live universe touched by the batch (distinct
+  /// affected sources / alive_before). 1.0 when alive_before is 0 — churn
+  /// against an empty catalog is total churn.
+  double ChurnFraction() const;
+
+  /// Folds a later delta into this one (this ∘ other). alive_before keeps
+  /// the *earlier* baseline; id lists are unioned.
+  void MergeFrom(const ChurnDelta& other);
+};
+
+/// \brief Append-only record of churn events with a line-oriented text
+/// serialization, so a churn workload can be captured once and replayed
+/// deterministically (bench/churn_reoptimize does exactly this across its
+/// warm and cold arms).
+class ChurnLog {
+ public:
+  void Append(ChurnEvent event) { events_.push_back(std::move(event)); }
+  void Append(const std::vector<ChurnEvent>& events);
+  void Clear() { events_.clear(); }
+
+  const std::vector<ChurnEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Serializes to the v1 text format. Source names must not contain
+  /// whitespace (they are single tokens in the format); a log violating
+  /// that is rejected with InvalidArgument rather than written ambiguously.
+  /// Attribute names may contain spaces (they are rest-of-line fields).
+  Result<std::string> Serialize() const;
+
+  /// Parses a v1 blob. Fails with the offending line number on malformed
+  /// input; on failure nothing is returned (parsing is all-or-nothing).
+  static Result<ChurnLog> Parse(const std::string& blob);
+
+ private:
+  std::vector<ChurnEvent> events_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_DYNAMIC_CHURN_H_

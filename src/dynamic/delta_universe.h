@@ -1,0 +1,66 @@
+#ifndef MUBE_DYNAMIC_DELTA_UNIVERSE_H_
+#define MUBE_DYNAMIC_DELTA_UNIVERSE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dynamic/churn.h"
+#include "schema/universe.h"
+
+/// \file delta_universe.h
+/// A churn-aware catalog: owns a Universe and is the single write path for
+/// churn events against it. The central guarantee is *id stability*: a
+/// source keeps its dense id (and its slot in the global attribute index)
+/// for the lifetime of the catalog, across any number of adds, removals,
+/// and edits of other sources. Removal tombstones the slot
+/// (Universe::RetireSource); additions always take fresh slots at the end.
+/// That is what lets every derived structure — the packed similarity
+/// matrix, the signature cache, recorded solutions, user pins — survive
+/// churn without reindexing.
+///
+/// Apply also produces the ChurnDelta consumed by the incremental
+/// maintenance entry points (SimilarityMatrix::ApplyChurn,
+/// SignatureCache::ApplyChurn, Mube::ApplyDelta).
+
+namespace mube {
+
+/// \brief Owning, churn-aware wrapper around a Universe.
+class DeltaUniverse {
+ public:
+  DeltaUniverse() = default;
+  /// Takes ownership of an already-populated catalog.
+  explicit DeltaUniverse(Universe universe) : universe_(std::move(universe)) {}
+
+  DeltaUniverse(const DeltaUniverse&) = delete;
+  DeltaUniverse& operator=(const DeltaUniverse&) = delete;
+  DeltaUniverse(DeltaUniverse&&) = default;
+  DeltaUniverse& operator=(DeltaUniverse&&) = default;
+
+  const Universe& universe() const { return universe_; }
+
+  /// Applies one event. On success the matching ids are appended to
+  /// `delta` (which must not be null); on failure the universe is
+  /// unchanged. Events address sources by name; only *live* sources
+  /// resolve (NotFound otherwise — a name that only a tombstone carries is
+  /// gone from the caller's point of view). Adding a source whose name a
+  /// live source already carries is AlreadyExists.
+  Status Apply(const ChurnEvent& event, ChurnDelta* delta);
+
+  /// Applies `events` in order, stopping at the first failure. `delta`
+  /// accumulates every *successfully applied* event — on failure the
+  /// prefix before the failing event remains applied and summarized, so
+  /// the caller can still reconcile its caches. `applied_count` (optional)
+  /// receives the number of events applied.
+  Status ApplyAll(const std::vector<ChurnEvent>& events, ChurnDelta* delta,
+                  size_t* applied_count = nullptr);
+
+ private:
+  /// Resolves a live source by name.
+  Result<uint32_t> ResolveLive(const std::string& name) const;
+
+  Universe universe_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_DYNAMIC_DELTA_UNIVERSE_H_

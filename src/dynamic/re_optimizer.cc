@@ -1,0 +1,38 @@
+#include "dynamic/re_optimizer.h"
+
+#include <algorithm>
+
+#include "schema/universe.h"
+
+namespace mube {
+
+ReOptimizePlan ReOptimizer::Plan(
+    const Universe& universe, const ChurnDelta& delta,
+    const std::vector<uint32_t>& previous_solution,
+    size_t cold_budget) const {
+  ReOptimizePlan plan;
+  plan.churn_fraction = delta.ChurnFraction();
+  plan.max_evaluations = cold_budget;
+
+  if (previous_solution.empty() ||
+      plan.churn_fraction > options_.cold_restart_fraction) {
+    return plan;  // cold
+  }
+
+  plan.initial_solution = previous_solution;
+  plan.initial_solution.erase(
+      std::remove_if(plan.initial_solution.begin(),
+                     plan.initial_solution.end(),
+                     [&](uint32_t sid) { return !universe.alive(sid); }),
+      plan.initial_solution.end());
+  if (plan.initial_solution.empty()) return plan;  // nothing survived: cold
+
+  plan.warm = true;
+  const auto scaled = static_cast<size_t>(
+      static_cast<double>(cold_budget) * options_.warm_budget_scale);
+  plan.max_evaluations =
+      std::min(cold_budget, std::max(options_.min_warm_evaluations, scaled));
+  return plan;
+}
+
+}  // namespace mube

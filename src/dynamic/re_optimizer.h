@@ -1,0 +1,74 @@
+#ifndef MUBE_DYNAMIC_RE_OPTIMIZER_H_
+#define MUBE_DYNAMIC_RE_OPTIMIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/churn.h"
+
+/// \file re_optimizer.h
+/// Warm-started re-optimization after churn. The key observation: small
+/// churn moves the optimum a little — most of the previous solution S is
+/// still (near-)optimal, so seeding the local search from S and giving it a
+/// fraction of the from-scratch budget recovers nearly all of Q(S*) at a
+/// fraction of the Match(S) evaluations (the paper's dominant cost, §7).
+/// Large churn invalidates that premise; past a configurable churn fraction
+/// the planner falls back to a cold start with the full budget.
+///
+/// The planner only *plans* — it evicts dead sources from the hint and
+/// scales the budget. The remaining repair (forcing constraints in,
+/// refilling to the target size) lives in the optimizer's WarmStartSubset so
+/// that every solver applies identical feasibility rules to hints.
+
+namespace mube {
+
+class Universe;
+
+/// \brief Knobs of the warm/cold decision.
+struct ReOptimizerOptions {
+  /// Churn fraction (ChurnDelta::ChurnFraction) above which warm starting
+  /// is abandoned: the previous solution is no longer presumed near the
+  /// new optimum.
+  double cold_restart_fraction = 0.25;
+  /// Warm runs get this fraction of the cold evaluation budget.
+  double warm_budget_scale = 0.4;
+  /// ...but never fewer evaluations than this.
+  size_t min_warm_evaluations = 200;
+};
+
+/// \brief What the next iteration should do.
+struct ReOptimizePlan {
+  /// True: seed from `initial_solution` with the reduced budget.
+  /// False: cold start (empty hint, full budget).
+  bool warm = false;
+  /// The previous solution with removed sources evicted (empty when cold).
+  std::vector<uint32_t> initial_solution;
+  /// Evaluation budget for the run.
+  size_t max_evaluations = 0;
+  /// The churn fraction the decision was based on.
+  double churn_fraction = 0.0;
+};
+
+/// \brief Stateless warm-start planner.
+class ReOptimizer {
+ public:
+  explicit ReOptimizer(ReOptimizerOptions options = {})
+      : options_(options) {}
+
+  /// Plans the next run given the churn since the previous solution was
+  /// computed. `previous_solution` may contain now-retired sources; they
+  /// are evicted here. An empty previous solution always plans cold.
+  ReOptimizePlan Plan(const Universe& universe, const ChurnDelta& delta,
+                      const std::vector<uint32_t>& previous_solution,
+                      size_t cold_budget) const;
+
+  const ReOptimizerOptions& options() const { return options_; }
+
+ private:
+  ReOptimizerOptions options_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_DYNAMIC_RE_OPTIMIZER_H_

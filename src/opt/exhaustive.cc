@@ -27,9 +27,10 @@ Result<SolutionEval> ExhaustiveSearch::Run(const Problem& problem) {
   const size_t target = problem.TargetSize();
   const size_t n = problem.universe->size();
 
-  // Free choices: sources not already pinned by constraints.
+  // Free choices: live sources not already pinned by constraints.
   std::vector<uint32_t> free_sources;
   for (uint32_t sid = 0; sid < n; ++sid) {
+    if (!problem.universe->alive(sid)) continue;
     if (!IsConstrained(problem, sid)) free_sources.push_back(sid);
   }
   const size_t slots = target - problem.effective_constraints.size();

@@ -23,6 +23,7 @@ Result<SolutionEval> GreedyPerSourceBaseline::Run(const Problem& problem) {
   std::vector<Scored> scored;
   scored.reserve(n);
   for (uint32_t sid = 0; sid < n; ++sid) {
+    if (!problem.universe->alive(sid)) continue;
     if (IsConstrained(problem, sid)) continue;
     // The singleton may be infeasible under source constraints; score the
     // QEFs directly rather than through EvaluateSolution's feasibility

@@ -9,8 +9,12 @@ Result<SolutionEval> StochasticLocalSearch::Run(const Problem& problem) {
   MUBE_RETURN_IF_ERROR(problem.Validate());
   Rng rng(options_.common.seed);
 
-  MUBE_ASSIGN_OR_RETURN(std::vector<uint32_t> start,
-                        RandomFeasibleSubset(problem, &rng));
+  // Warm start from the supplied hint when present (restarts stay random —
+  // re-seeding a restart from the same hint would just revisit the basin
+  // the search is trying to leave).
+  MUBE_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> start,
+      WarmStartSubset(problem, options_.common.initial_solution, &rng));
   SolutionEval current = EvaluateSolution(problem, start);
   SolutionEval best = current;
 

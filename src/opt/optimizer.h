@@ -1,8 +1,10 @@
 #ifndef MUBE_OPT_OPTIMIZER_H_
 #define MUBE_OPT_OPTIMIZER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "opt/problem.h"
@@ -29,6 +31,14 @@ struct OptimizerOptions {
   /// Stop early after this many consecutive evaluations without improving
   /// the incumbent (0 = disabled).
   size_t patience = 4000;
+  /// Warm-start hint: when non-empty, trajectory solvers (tabu, sls) start
+  /// from this subset instead of a random one. The hint is *repaired*, not
+  /// trusted: out-of-range, retired, and duplicate ids are dropped, the
+  /// problem's constraints are forced in, and the subset is trimmed/filled
+  /// to the target size (see WarmStartSubset in search_util.h). Population
+  /// solvers (pso) and the oracle ignore it. Used by the dynamic-universe
+  /// re-optimizer to resume from the pre-churn solution.
+  std::vector<uint32_t> initial_solution;
 };
 
 /// \brief Interface of all solvers.

@@ -26,6 +26,11 @@ std::vector<uint32_t> Repair(const Problem& problem,
   std::vector<uint32_t> in;
   std::vector<uint32_t> out;
   for (uint32_t sid = 0; sid < n; ++sid) {
+    if (!problem.universe->alive(sid)) {
+      // The sigmoid re-sampler has no notion of retired slots; scrub them.
+      (*membership)[sid] = 0;
+      continue;
+    }
     ((*membership)[sid] ? in : out).push_back(sid);
   }
 

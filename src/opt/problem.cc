@@ -25,6 +25,14 @@ Status Problem::Validate() const {
       return Status::InvalidArgument("Problem: constraint source " +
                                      std::to_string(sid) + " out of range");
     }
+    if (!universe->alive(sid)) {
+      // A pin or GA constraint that survived churn but its source did not:
+      // fail loudly with the name instead of selecting a tombstone.
+      return Status::FailedPrecondition(
+          "Problem: constraint source " + std::to_string(sid) + " ('" +
+          universe->source(sid).name() +
+          "') has been removed from the universe");
+    }
     if (!seen.insert(sid).second) {
       return Status::InvalidArgument("Problem: duplicate constraint source " +
                                      std::to_string(sid));
@@ -44,7 +52,7 @@ Status Problem::Validate() const {
 }
 
 size_t Problem::TargetSize() const {
-  return std::min(max_sources, universe->size());
+  return std::min(max_sources, universe->alive_count());
 }
 
 std::string SolutionEval::Summary() const {
@@ -63,7 +71,12 @@ SolutionEval EvaluateSolution(const Problem& problem,
                    source_ids.end());
   eval.sources = std::move(source_ids);
 
-  // Subset-level feasibility: size bound and C ⊆ S.
+  // Subset-level feasibility: in-range live members, size bound, C ⊆ S.
+  for (uint32_t sid : eval.sources) {
+    if (sid >= problem.universe->size() || !problem.universe->alive(sid)) {
+      return eval;  // stale id (churned away): worthless, never an OOB read
+    }
+  }
   if (eval.sources.size() > problem.max_sources) return eval;
   if (!std::includes(eval.sources.begin(), eval.sources.end(),
                      problem.effective_constraints.begin(),

@@ -9,21 +9,45 @@ namespace mube {
 
 Result<std::vector<uint32_t>> RandomFeasibleSubset(const Problem& problem,
                                                    Rng* rng) {
-  const size_t n = problem.universe->size();
+  return WarmStartSubset(problem, {}, rng);
+}
+
+Result<std::vector<uint32_t>> WarmStartSubset(
+    const Problem& problem, const std::vector<uint32_t>& hint, Rng* rng) {
+  const Universe& universe = *problem.universe;
   const size_t target = problem.TargetSize();
   if (problem.effective_constraints.size() > target) {
     return Status::Infeasible("more constrained sources than slots");
   }
   std::vector<uint32_t> solution = problem.effective_constraints;
-  // Rejection-sample the free slots; constraint sets are small relative to
-  // U in every realistic instance.
-  std::vector<bool> taken(n, false);
+  std::vector<bool> taken(universe.size(), false);
   for (uint32_t sid : solution) taken[sid] = true;
-  while (solution.size() < target) {
-    const uint32_t candidate = static_cast<uint32_t>(rng->Uniform(n));
-    if (taken[candidate]) continue;
-    taken[candidate] = true;
-    solution.push_back(candidate);
+
+  // Keep surviving hint members, in hint order, until the target is full —
+  // stale ids (removed by churn, out of range) are silently evicted.
+  for (uint32_t sid : hint) {
+    if (solution.size() >= target) break;
+    if (sid >= universe.size() || !universe.alive(sid) || taken[sid]) {
+      continue;
+    }
+    taken[sid] = true;
+    solution.push_back(sid);
+  }
+
+  // Fill the remaining slots uniformly among untaken live sources.
+  if (solution.size() < target) {
+    std::vector<uint32_t> pool;
+    pool.reserve(universe.alive_count());
+    for (uint32_t sid : universe.AliveSourceIds()) {
+      if (!taken[sid]) pool.push_back(sid);
+    }
+    const size_t need = target - solution.size();
+    if (need > pool.size()) {
+      return Status::Infeasible("fewer live sources than solution slots");
+    }
+    for (size_t idx : rng->SampleWithoutReplacement(pool.size(), need)) {
+      solution.push_back(pool[idx]);
+    }
   }
   std::sort(solution.begin(), solution.end());
   return solution;
@@ -38,7 +62,8 @@ bool SampleSwap(const Problem& problem,
                 const std::vector<uint32_t>& solution, Rng* rng,
                 SwapMove* move) {
   const size_t n = problem.universe->size();
-  if (solution.size() >= n) return false;  // nothing outside S to add
+  // Nothing outside S to add (retired slots are not addable).
+  if (solution.size() >= problem.universe->alive_count()) return false;
 
   // Droppable members: anything not constrained.
   const size_t constrained = problem.effective_constraints.size();
@@ -52,11 +77,12 @@ bool SampleSwap(const Problem& problem,
     if (attempts == 63) return false;  // pathologically constrained
   }
 
-  // Sample the source to add among non-members.
+  // Sample the source to add among live non-members.
   uint32_t add = 0;
   do {
     add = static_cast<uint32_t>(rng->Uniform(n));
-  } while (std::binary_search(solution.begin(), solution.end(), add));
+  } while (!problem.universe->alive(add) ||
+           std::binary_search(solution.begin(), solution.end(), add));
 
   move->drop = drop;
   move->add = add;

@@ -25,9 +25,20 @@ struct SwapMove {
 };
 
 /// \brief Uniformly random feasible starting solution: the effective
-/// constraints plus random fill to the target size.
+/// constraints plus random fill to the target size. Only live (non-retired)
+/// sources are ever drawn.
 Result<std::vector<uint32_t>> RandomFeasibleSubset(const Problem& problem,
                                                    Rng* rng);
+
+/// \brief Warm-start repair: builds a feasible starting solution that keeps
+/// as much of `hint` as possible. Constraints are forced in first; then
+/// hint members that are in range, live, and not already present are kept
+/// in order until the target size is reached; remaining slots are filled
+/// with random live sources. This is how a pre-churn solution is carried
+/// into a post-churn search — removed sources evicted, pins preserved.
+Result<std::vector<uint32_t>> WarmStartSubset(const Problem& problem,
+                                              const std::vector<uint32_t>& hint,
+                                              Rng* rng);
 
 /// \brief Samples a random swap for `solution`. Returns false when no swap
 /// exists (all members constrained, or S already covers U).

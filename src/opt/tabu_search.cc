@@ -12,8 +12,11 @@ Result<SolutionEval> TabuSearch::Run(const Problem& problem) {
   MUBE_RETURN_IF_ERROR(problem.Validate());
   Rng rng(options_.common.seed);
 
-  MUBE_ASSIGN_OR_RETURN(std::vector<uint32_t> current,
-                        RandomFeasibleSubset(problem, &rng));
+  // Warm start when a repaired previous solution is supplied; random
+  // otherwise. Both paths yield a feasible-sized subset ⊇ constraints.
+  MUBE_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> current,
+      WarmStartSubset(problem, options_.common.initial_solution, &rng));
   SolutionEval current_eval = EvaluateSolution(problem, current);
   SolutionEval best = current_eval;
 

@@ -21,10 +21,32 @@ std::optional<uint32_t> Source::FindAttribute(const std::string& name) const {
   return std::nullopt;
 }
 
+Status Source::RenameAttribute(uint32_t index, std::string new_name) {
+  if (index >= attributes_.size()) {
+    return Status::OutOfRange("source '" + name_ + "' has no attribute " +
+                              std::to_string(index));
+  }
+  if (new_name.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  attributes_[index] =
+      Attribute(std::move(new_name), attributes_[index].concept_id);
+  return Status::OK();
+}
+
 void Source::SetTuples(std::vector<uint64_t> tuple_ids) {
   tuples_ = std::move(tuple_ids);
   has_tuples_ = true;
   cardinality_ = tuples_.size();
+}
+
+Status Source::SetCooperative(bool cooperative) {
+  if (cooperative && tuples_.empty()) {
+    return Status::FailedPrecondition(
+        "source '" + name_ + "' has no tuples to ship a signature from");
+  }
+  has_tuples_ = cooperative;
+  return Status::OK();
 }
 
 std::string Source::ToString() const {

@@ -66,6 +66,11 @@ class Source {
   /// Index of the attribute whose raw name equals `name`, if any.
   std::optional<uint32_t> FindAttribute(const std::string& name) const;
 
+  /// Replaces the name (and derived normalized form) of attribute `index`,
+  /// keeping its ground-truth concept label. The schema's attribute count
+  /// never changes, so global attribute indexes stay valid.
+  Status RenameAttribute(uint32_t index, std::string new_name);
+
   /// \name Data
   /// Tuples are stored as opaque 64-bit ids; the sketch layer hashes them.
   /// A source may decline to expose tuples (`has_tuples()` false), modelling
@@ -75,6 +80,12 @@ class Source {
   void SetTuples(std::vector<uint64_t> tuple_ids);
   bool has_tuples() const { return has_tuples_; }
   const std::vector<uint64_t>& tuples() const { return tuples_; }
+
+  /// Toggles whether the source ships its tuples (and hence a PCSA
+  /// signature). Withdrawing cooperation keeps the tuples and the reported
+  /// cardinality so cooperation can resume later; resuming requires tuples
+  /// to be present (FailedPrecondition otherwise).
+  Status SetCooperative(bool cooperative);
 
   /// Number of tuples |s|. For cooperative sources this equals
   /// tuples().size(); it can also be set directly when tuples are withheld

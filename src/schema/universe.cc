@@ -9,10 +9,35 @@ namespace mube {
 uint32_t Universe::AddSource(Source source) {
   const uint32_t id = static_cast<uint32_t>(sources_.size());
   source.id_ = id;
-  total_cardinality_ += source.cardinality();
   sources_.push_back(std::move(source));
+  alive_.push_back(true);
+  ++alive_count_;
   RebuildIndex();
   return id;
+}
+
+void Universe::RetireSource(uint32_t id) {
+  MUBE_CHECK(id < sources_.size());
+  if (!alive_[id]) return;
+  alive_[id] = false;
+  --alive_count_;
+  // Shed the data: a retired source contributes no tuples and no
+  // cardinality; only the schema stays, to keep attribute indexes stable.
+  Source& s = sources_[id];
+  s.tuples_.clear();
+  s.tuples_.shrink_to_fit();
+  s.has_tuples_ = false;
+  s.cardinality_ = 0;
+  RebuildIndex();
+}
+
+std::vector<uint32_t> Universe::AliveSourceIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(alive_count_);
+  for (uint32_t id = 0; id < sources_.size(); ++id) {
+    if (alive_[id]) ids.push_back(id);
+  }
+  return ids;
 }
 
 void Universe::RebuildIndex() {
@@ -22,17 +47,20 @@ void Universe::RebuildIndex() {
   for (size_t i = 0; i < sources_.size(); ++i) {
     attr_offsets_[i] = offset;
     offset += sources_[i].attribute_count();
-    cardinality += sources_[i].cardinality();
+    if (alive_[i]) cardinality += sources_[i].cardinality();
   }
   total_attrs_ = offset;
   total_cardinality_ = cardinality;
 }
 
 std::optional<uint32_t> Universe::FindSource(const std::string& name) const {
+  std::optional<uint32_t> retired_match;
   for (const Source& s : sources_) {
-    if (s.name() == name) return s.id();
+    if (s.name() != name) continue;
+    if (alive(s.id())) return s.id();
+    if (!retired_match.has_value()) retired_match = s.id();
   }
-  return std::nullopt;
+  return retired_match;
 }
 
 const Attribute& Universe::attribute(const AttributeRef& ref) const {

@@ -15,6 +15,14 @@
 /// from which µBE selects a solution (paper §2.1). The universe also assigns
 /// a dense *global attribute index* to every (source, attribute) pair so the
 /// similarity layer can precompute a flat pairwise matrix.
+///
+/// Source churn (src/dynamic) retires sources instead of erasing them: a
+/// retired source keeps its id and its slot in the global attribute index —
+/// so every surviving source id and attribute index stays stable across
+/// churn and the similarity matrix never needs reindexing — but sheds its
+/// tuples, contributes nothing to the cardinality totals, and is skipped by
+/// the optimizers. Retired slots are never reused; new sources always get
+/// fresh ids at the end.
 
 namespace mube {
 
@@ -42,6 +50,26 @@ class Universe {
   /// in-place mutation of sources.
   void RefreshStatistics() { RebuildIndex(); }
 
+  /// Marks a source as removed from the universe. Its slot (id, attribute
+  /// index range) survives as a tombstone so derived per-attribute state
+  /// stays valid, but the source stops shipping tuples, counts for nothing
+  /// in the cardinality totals, and must never appear in a solution.
+  /// Retiring an already-retired source is a no-op.
+  void RetireSource(uint32_t id);
+
+  /// False iff the source was retired. Out-of-range ids are not alive.
+  bool alive(uint32_t id) const {
+    return id < alive_.size() && alive_[id];
+  }
+
+  /// Number of live (non-retired) sources.
+  size_t alive_count() const { return alive_count_; }
+
+  /// Ids of all live sources, ascending.
+  std::vector<uint32_t> AliveSourceIds() const;
+
+  /// Number of source slots, retired ones included. Dense ids live in
+  /// [0, size()).
   size_t size() const { return sources_.size(); }
   bool empty() const { return sources_.empty(); }
 
@@ -50,7 +78,9 @@ class Universe {
   const std::vector<Source>& sources() const { return sources_; }
 
   /// Id of the source named `name`, if present (linear scan; catalogs are
-  /// hundreds to a few thousands of entries, paper §2.1).
+  /// hundreds to a few thousands of entries, paper §2.1). Live sources are
+  /// preferred; a retired source is only reported when no live source
+  /// carries the name.
   std::optional<uint32_t> FindSource(const std::string& name) const;
 
   /// Looks up an attribute by reference. CHECK-fails on out-of-range refs —
@@ -69,14 +99,16 @@ class Universe {
   AttributeRef RefFromGlobalIndex(size_t global_index) const;
   /// @}
 
-  /// Total number of tuples Σ|s| over all sources (denominator of the Card
-  /// QEF).
+  /// Total number of tuples Σ|s| over all live sources (denominator of the
+  /// Card QEF).
   uint64_t total_cardinality() const { return total_cardinality_; }
 
  private:
   void RebuildIndex();
 
   std::vector<Source> sources_;
+  std::vector<bool> alive_;           // parallel to sources_
+  size_t alive_count_ = 0;
   std::vector<size_t> attr_offsets_;  // attr_offsets_[i] = flat index of s_i.a_0
   size_t total_attrs_ = 0;
   uint64_t total_cardinality_ = 0;

@@ -1,5 +1,7 @@
 #include "sketch/signature_cache.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 #include "common/logging.h"
 #include "schema/universe.h"
@@ -10,16 +12,64 @@ SignatureCache::SignatureCache(const Universe& universe,
                                const PcsaConfig& config)
     : config_(config) {
   sketches_.resize(universe.size());
-  PcsaSketch all(config_);
   for (const Source& s : universe.sources()) {
     if (!s.has_tuples()) continue;
     PcsaSketch sketch(config_);
     sketch.AddAll(s.tuples());
-    MUBE_CHECK(all.MergeFrom(sketch).ok());
     sketches_[s.id()] = std::move(sketch);
+  }
+  RecomputeUniverseUnion();
+}
+
+void SignatureCache::RefreshSlot(const Universe& universe,
+                                 uint32_t source_id) {
+  const Source& s = universe.source(source_id);
+  if (!universe.alive(source_id) || !s.has_tuples()) {
+    sketches_[source_id].reset();  // tombstone
+    return;
+  }
+  PcsaSketch sketch(config_);
+  sketch.AddAll(s.tuples());
+  sketches_[source_id] = std::move(sketch);
+}
+
+void SignatureCache::RecomputeUniverseUnion() {
+  PcsaSketch all(config_);
+  cooperative_count_ = 0;
+  for (const auto& slot : sketches_) {
+    if (!slot.has_value()) continue;
+    MUBE_CHECK(all.MergeFrom(*slot).ok());
     ++cooperative_count_;
   }
-  universe_union_ = all.Estimate();
+  universe_union_ = all.IsEmpty() ? 0.0 : all.Estimate();
+}
+
+void SignatureCache::ApplyChurn(const Universe& universe,
+                                const std::vector<uint32_t>& dirty_sources) {
+  sketches_.resize(universe.size());
+  uint64_t dirty_mask = 0;
+  for (uint32_t sid : dirty_sources) {
+    MUBE_CHECK(sid < sketches_.size());
+    RefreshSlot(universe, sid);
+    dirty_mask |= uint64_t{1} << (sid % 64);
+  }
+  if (dirty_sources.empty()) return;
+
+  // Selective invalidation: an entry whose membership mask misses every
+  // dirty bit provably contains no changed source and stays valid. Mask
+  // collisions (ids ≡ mod 64) only cause harmless recomputation.
+  for (auto it = union_memo_.begin(); it != union_memo_.end();) {
+    if ((it->second.member_mask & dirty_mask) != 0) {
+      it = union_memo_.erase(it);
+      ++memo_invalidations_;
+    } else {
+      ++it;
+    }
+  }
+
+  // The denominator re-merges cached signatures only — churn maintenance
+  // never re-scans source data beyond the dirty sources themselves.
+  RecomputeUniverseUnion();
 }
 
 const PcsaSketch* SignatureCache::SketchOf(uint32_t source_id) const {
@@ -32,15 +82,33 @@ double SignatureCache::EstimateUnion(
   if (source_ids.empty()) return 0.0;
   const uint64_t key = SetFingerprint(source_ids);
   auto it = union_memo_.find(key);
-  if (it != union_memo_.end()) return it->second;
+  if (it != union_memo_.end()) {
+    ++memo_hits_;
+    return it->second.estimate;
+  }
+  ++memo_misses_;
 
   PcsaSketch merged(config_);
+  uint64_t member_mask = 0;
   for (uint32_t sid : source_ids) {
     const PcsaSketch* sketch = SketchOf(sid);
     if (sketch != nullptr) MUBE_CHECK(merged.MergeFrom(*sketch).ok());
+    member_mask |= uint64_t{1} << (sid % 64);
   }
   const double estimate = merged.IsEmpty() ? 0.0 : merged.Estimate();
-  union_memo_.emplace(key, estimate);
+
+  if (union_memo_.size() >= memo_capacity_) {
+    // Cheap batch eviction: drop a quarter of the entries in hash order
+    // (effectively random). Keeps the common case allocation-free and
+    // avoids tracking recency on the optimizer's hot path.
+    size_t to_evict = std::max<size_t>(1, memo_capacity_ / 4);
+    for (auto evict = union_memo_.begin();
+         evict != union_memo_.end() && to_evict > 0; --to_evict) {
+      evict = union_memo_.erase(evict);
+      ++memo_evictions_;
+    }
+  }
+  union_memo_.emplace(key, MemoEntry{estimate, member_mask});
   return estimate;
 }
 
@@ -54,6 +122,25 @@ size_t SignatureCache::TotalSignatureBytes() const {
     if (slot.has_value()) total += slot->SizeBytes();
   }
   return total;
+}
+
+SignatureCache::MemoStats SignatureCache::memo_stats() const {
+  MemoStats stats;
+  stats.entries = union_memo_.size();
+  stats.capacity = memo_capacity_;
+  stats.hits = memo_hits_;
+  stats.misses = memo_misses_;
+  stats.evictions = memo_evictions_;
+  stats.invalidations = memo_invalidations_;
+  return stats;
+}
+
+void SignatureCache::set_memo_capacity(size_t capacity) {
+  memo_capacity_ = std::max<size_t>(1, capacity);
+  while (union_memo_.size() > memo_capacity_) {
+    union_memo_.erase(union_memo_.begin());
+    ++memo_evictions_;
+  }
 }
 
 }  // namespace mube

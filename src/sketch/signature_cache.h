@@ -18,6 +18,12 @@
 /// Uncooperative sources (those that export no tuples and therefore ship no
 /// signature) are skipped in union estimates; the QEF layer assigns them
 /// zero coverage/redundancy contribution, exactly as §4 prescribes.
+///
+/// The memo is bounded (default 64K entries ≈ 1.5 MB) with batch eviction,
+/// and instrumented with hit/miss/eviction counters. Each entry carries a
+/// 64-bit membership mask of its subset's source ids, which is what lets
+/// churn (src/dynamic) *selectively* invalidate only the memoized subsets
+/// that could contain a changed source instead of wiping the whole memo.
 
 namespace mube {
 
@@ -30,6 +36,19 @@ class SignatureCache {
   /// (one pass over each source's tuple ids — the "scan the data only once"
   /// cost the paper argues sources will accept).
   SignatureCache(const Universe& universe, const PcsaConfig& config);
+
+  /// Incrementally reconciles the cache with a universe mutated by churn.
+  /// `dirty_sources` must list every source whose shipped data changed:
+  /// sources added since the last build, retired sources, and sources whose
+  /// tuples or cooperation status changed. Fresh sketches are computed only
+  /// for dirty cooperative sources (retired/uncooperative ones are
+  /// tombstoned); the all-sources denominator is re-derived by re-merging
+  /// the cached signatures (never by re-scanning data); and memoized union
+  /// estimates are invalidated only when their membership mask intersects a
+  /// dirty source. The result is identical to rebuilding the cache from the
+  /// mutated universe.
+  void ApplyChurn(const Universe& universe,
+                  const std::vector<uint32_t>& dirty_sources);
 
   /// True iff the source shipped a signature.
   bool IsCooperative(uint32_t source_id) const {
@@ -55,12 +74,49 @@ class SignatureCache {
 
   const PcsaConfig& config() const { return config_; }
 
+  /// \name Union-memo bounds and instrumentation
+  /// @{
+  /// Memo health counters, cumulative since construction.
+  struct MemoStats {
+    size_t entries = 0;      ///< current memoized subsets
+    size_t capacity = 0;     ///< entry cap before eviction kicks in
+    size_t hits = 0;         ///< EstimateUnion answered from the memo
+    size_t misses = 0;       ///< EstimateUnion that had to merge sketches
+    size_t evictions = 0;    ///< entries dropped by the size cap
+    size_t invalidations = 0;///< entries dropped by churn invalidation
+  };
+  MemoStats memo_stats() const;
+
+  /// Caps the memo entry count (>= 1). When an insert would exceed the cap,
+  /// a quarter of the entries are evicted in one cheap sweep.
+  void set_memo_capacity(size_t capacity);
+  static constexpr size_t kDefaultMemoCapacity = 1 << 16;
+  /// @}
+
  private:
+  struct MemoEntry {
+    double estimate = 0.0;
+    uint64_t member_mask = 0;  // OR of 1 << (source_id % 64) over the subset
+  };
+
+  /// (Re)computes one slot: a fresh sketch for a live cooperative source,
+  /// an empty slot otherwise.
+  void RefreshSlot(const Universe& universe, uint32_t source_id);
+
+  /// Re-derives universe_union_ and cooperative_count_ from the cached
+  /// sketches (no data access).
+  void RecomputeUniverseUnion();
+
   PcsaConfig config_;
   std::vector<std::optional<PcsaSketch>> sketches_;  // index = source id
   size_t cooperative_count_ = 0;
   double universe_union_ = 0.0;
-  mutable std::unordered_map<uint64_t, double> union_memo_;
+  size_t memo_capacity_ = kDefaultMemoCapacity;
+  mutable std::unordered_map<uint64_t, MemoEntry> union_memo_;
+  mutable size_t memo_hits_ = 0;
+  mutable size_t memo_misses_ = 0;
+  mutable size_t memo_evictions_ = 0;
+  size_t memo_invalidations_ = 0;
 };
 
 }  // namespace mube

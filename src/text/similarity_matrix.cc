@@ -1,6 +1,7 @@
 #include "text/similarity_matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "schema/universe.h"
@@ -9,17 +10,53 @@ namespace mube {
 
 SimilarityMatrix::SimilarityMatrix(const Universe& universe,
                                    const SimilarityMeasure& measure,
-                                   unsigned threads)
-    : n_(universe.total_attribute_count()) {
+                                   unsigned threads) {
+  Rebuild(universe, measure, threads);
+}
+
+void SimilarityMatrix::Rebuild(const Universe& universe,
+                               const SimilarityMeasure& measure,
+                               unsigned threads) {
+  const std::vector<bool> all_dirty(universe.total_attribute_count(), true);
+  Recompute(universe, measure, all_dirty, /*old_values=*/{}, /*old_n=*/0,
+            threads);
+}
+
+void SimilarityMatrix::ApplyChurn(const Universe& universe,
+                                  const SimilarityMeasure& measure,
+                                  const std::vector<uint32_t>& dirty_sources,
+                                  unsigned threads) {
+  const size_t new_n = universe.total_attribute_count();
+  std::vector<bool> dirty(new_n, false);
+  // Attributes appended since the last build have no previous entry.
+  for (size_t i = n_; i < new_n; ++i) dirty[i] = true;
+  for (uint32_t sid : dirty_sources) {
+    const Source& s = universe.source(sid);
+    for (uint32_t a = 0; a < s.attribute_count(); ++a) {
+      dirty[universe.GlobalAttrIndex(AttributeRef(sid, a))] = true;
+    }
+  }
+  const std::vector<float> old_values = std::move(values_);
+  Recompute(universe, measure, dirty, old_values, n_, threads);
+}
+
+void SimilarityMatrix::Recompute(const Universe& universe,
+                                 const SimilarityMeasure& measure,
+                                 const std::vector<bool>& dirty_attrs,
+                                 const std::vector<float>& old_values,
+                                 size_t old_n, unsigned threads) {
+  n_ = universe.total_attribute_count();
   values_.assign(n_ * (n_ - 1) / 2, 0.0f);
   row_max_.assign(n_, 0.0f);
 
-  // Resolve every global index to (source, normalized name) once.
+  // Resolve every global index to (source, liveness, normalized name) once.
   std::vector<uint32_t> source_of(n_);
+  std::vector<char> live_of(n_);
   std::vector<const std::string*> name_of(n_);
   for (size_t i = 0; i < n_; ++i) {
     const AttributeRef ref = universe.RefFromGlobalIndex(i);
     source_of[i] = ref.source_id;
+    live_of[i] = universe.alive(ref.source_id) ? 1 : 0;
     name_of[i] = &universe.attribute(ref).normalized;
   }
 
@@ -41,25 +78,41 @@ SimilarityMatrix::SimilarityMatrix(const Universe& universe,
   threads = std::min<unsigned>(
       threads, static_cast<unsigned>(std::max<size_t>(1, n_ / 2)));
 
+  // The previous packed triangle indexed old_n attributes; churn only ever
+  // appends attributes, so indexes below old_n are the same attributes.
+  auto old_offset = [old_n](size_t i, size_t j) {
+    return i * old_n - i * (i + 1) / 2 + (j - i - 1);
+  };
+
   // Worker `t` fills rows t, t+T, t+2T, ... — row i owns the disjoint
   // packed range {Offset(i, j) : j > i}, so writes never collide. Row
   // maxima are reduced per worker and merged afterwards (row_max_[j] for
   // j > i would otherwise be written by several workers).
   std::vector<std::vector<float>> partial_max(
       threads, std::vector<float>(n_, 0.0f));
+  std::atomic<size_t> measure_calls{0};
   auto worker = [&](unsigned t) {
     std::vector<float>& my_max = partial_max[t];
+    size_t my_calls = 0;
     for (size_t i = t; i < n_; i += threads) {
       for (size_t j = i + 1; j < n_; ++j) {
         if (source_of[i] == source_of[j]) continue;  // never comparable
-        const float sim = static_cast<float>(
-            prepared ? measure.SimilarityFromTokens(tokens[i], tokens[j])
-                     : measure.Similarity(*name_of[i], *name_of[j]));
+        if (!live_of[i] || !live_of[j]) continue;    // retired: stays 0
+        float sim;
+        if (j < old_n && !dirty_attrs[i] && !dirty_attrs[j]) {
+          sim = old_values[old_offset(i, j)];  // untouched pair: reuse
+        } else {
+          sim = static_cast<float>(
+              prepared ? measure.SimilarityFromTokens(tokens[i], tokens[j])
+                       : measure.Similarity(*name_of[i], *name_of[j]));
+          ++my_calls;
+        }
         values_[Offset(i, j)] = sim;
         my_max[i] = std::max(my_max[i], sim);
         my_max[j] = std::max(my_max[j], sim);
       }
     }
+    measure_calls.fetch_add(my_calls, std::memory_order_relaxed);
   };
 
   if (threads == 1) {
@@ -70,6 +123,7 @@ SimilarityMatrix::SimilarityMatrix(const Universe& universe,
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& th : pool) th.join();
   }
+  last_measure_calls_ = measure_calls.load(std::memory_order_relaxed);
 
   for (const std::vector<float>& my_max : partial_max) {
     for (size_t i = 0; i < n_; ++i) {

@@ -13,7 +13,16 @@
 /// subsets S, but the pairwise similarity of two attributes never changes,
 /// so µBE computes the full |A| × |A| matrix once per session. Attributes of
 /// the same source are never compared (a valid GA cannot contain two of
-/// them), so their entries are fixed at 0.
+/// them), so their entries are fixed at 0. Attributes of retired sources
+/// (see Universe::RetireSource) are likewise fixed at 0 — they keep their
+/// rows so live attribute indexes never shift, but must not attract merges
+/// or inflate pruning bounds.
+///
+/// Under source churn the matrix is maintained *incrementally*: only pairs
+/// touching a changed source are re-evaluated with the measure; all other
+/// entries are copied bit-for-bit (see ApplyChurn), so an incrementally
+/// maintained matrix is exactly identical to a from-scratch rebuild of the
+/// mutated universe.
 
 namespace mube {
 
@@ -33,6 +42,25 @@ class SimilarityMatrix {
   SimilarityMatrix(const Universe& universe,
                    const SimilarityMeasure& measure, unsigned threads = 1);
 
+  /// Recomputes the whole matrix in place for the universe's current state.
+  /// Equivalent to constructing a fresh matrix; exists so holders of
+  /// references to this object (the Matcher) survive a full refresh — the
+  /// fallback when the measure itself is corpus-derived and churn
+  /// invalidates every pair.
+  void Rebuild(const Universe& universe, const SimilarityMeasure& measure,
+               unsigned threads = 1);
+
+  /// Incrementally reconciles the matrix with a universe mutated by churn.
+  /// `dirty_sources` must list every source whose attribute set changed:
+  /// sources added since the last (re)build, retired sources, and sources
+  /// whose attributes were renamed. Only pairs with at least one endpoint
+  /// in a dirty source are re-evaluated with `measure`; every other entry
+  /// is copied unchanged, so the result is bit-identical to Rebuild() on
+  /// the mutated universe at a fraction of the similarity calls.
+  void ApplyChurn(const Universe& universe, const SimilarityMeasure& measure,
+                  const std::vector<uint32_t>& dirty_sources,
+                  unsigned threads = 1);
+
   /// Similarity of global attribute indexes i and j. Symmetric;
   /// same-source pairs and the diagonal return 0 (they can never co-occur
   /// in a GA, and clustering must not try to merge them).
@@ -49,15 +77,29 @@ class SimilarityMatrix {
   /// per-attribute bound lets the pruning happen before clustering starts.
   double MaxSimilarityOf(size_t i) const { return row_max_[i]; }
 
+  /// Measure evaluations performed by the last (re)build or churn
+  /// application — what incremental maintenance saves.
+  size_t last_measure_calls() const { return last_measure_calls_; }
+
  private:
   // Index into the packed strict upper triangle for i < j.
   size_t Offset(size_t i, size_t j) const {
     return i * n_ - i * (i + 1) / 2 + (j - i - 1);
   }
 
-  size_t n_;
+  /// Shared fill: computes pairs with a dirty endpoint, copies the rest
+  /// from the previous packed triangle (`old_values` over `old_n`
+  /// attributes). A full rebuild passes an empty previous state, which
+  /// marks every pair dirty. Same-source and retired-source pairs are 0.
+  void Recompute(const Universe& universe, const SimilarityMeasure& measure,
+                 const std::vector<bool>& dirty_attrs,
+                 const std::vector<float>& old_values, size_t old_n,
+                 unsigned threads);
+
+  size_t n_ = 0;
   std::vector<float> values_;
   std::vector<float> row_max_;
+  size_t last_measure_calls_ = 0;
 };
 
 }  // namespace mube
