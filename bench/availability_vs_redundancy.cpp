@@ -1,0 +1,272 @@
+// Availability under source faults vs the Redundancy QEF's orientation
+// (src/reliability). The paper treats F4's overlap as pure transfer
+// overhead; this bench demonstrates the dual reading: overlap is
+// *replication*, and replicated schemas keep more of the answer alive when
+// sources go down.
+//
+// Protocol:
+//   1. Solve the same universe twice: once with the redundancy weight at 0
+//      (overlap-blind selection) and once with a high *inverted* redundancy
+//      weight (QefSpec.invert → RedundancyQef rewards overlap).
+//   2. Per fault rate f, give every selected source a transient failure
+//      probability of f plus a jittery latency tail, so which sources drop
+//      out of which query is a fresh draw each time and the retry/breaker
+//      machinery is exercised throughout.
+//   3. Execute the same full-scan workload through ReliableExecutor and
+//      compare ground-truth completeness: rows retained under faults /
+//      rows of that arm's own healthy run.
+//
+// Acceptance (exit code):
+//   - at every fault rate >= 0.2 the redundant arm retains strictly more
+//     completeness than the w4 = 0 arm;
+//   - no query hard-fails while at least one selected source is alive
+//     (siblings in the same GAs must keep it answerable — degraded, not
+//     failed).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/mube.h"
+#include "datagen/generator.h"
+#include "reliability/fault_injector.h"
+#include "reliability/reliable_executor.h"
+
+namespace mube {
+namespace {
+
+using bench::QuickMode;
+
+struct Arm {
+  const char* label;
+  SolutionEval solution;
+  const SignatureCache* signatures;
+  size_t healthy_rows = 0;
+};
+
+struct FaultedRun {
+  double completeness = 0.0;  // rows retained / healthy rows (ground truth)
+  double estimate = 0.0;      // executor's PCSA completeness estimate
+  size_t retries = 0;
+  size_t short_circuits = 0;
+  size_t rescues = 0;
+  size_t hard_fail_violations = 0;
+};
+
+/// Σ|s| / |∪s| over the selected cooperative sources: how many times each
+/// distinct tuple is replicated across the arm's selection.
+double ReplicationFactor(const Universe& universe, const Arm& arm) {
+  uint64_t sum = 0;
+  std::vector<uint32_t> cooperative;
+  for (uint32_t sid : arm.solution.sources) {
+    if (!arm.signatures->IsCooperative(sid)) continue;
+    cooperative.push_back(sid);
+    sum += universe.source(sid).cardinality();
+  }
+  const double union_estimate = arm.signatures->EstimateUnion(cooperative);
+  return union_estimate > 0.0 ? static_cast<double>(sum) / union_estimate
+                              : 1.0;
+}
+
+FaultedRun RunFaulted(const Universe& universe, const Arm& arm,
+                      double fault_rate, size_t num_queries,
+                      uint64_t replicate) {
+  const uint64_t rate_key =
+      static_cast<uint64_t>(fault_rate * 100.0) + (replicate << 32);
+
+  // Every selected source is equally flaky: per-attempt transient failure
+  // probability = the swept fault rate, plus a jittery latency tail. Which
+  // sources drop out of which query is then a fresh draw each time — the
+  // acceptance comparison measures redundancy, not one unlucky outage.
+  FaultInjector injector(0xBADC0DE ^ rate_key);
+  for (uint32_t sid : arm.solution.sources) {
+    FaultProfile profile;
+    profile.transient_failure_prob = fault_rate;
+    profile.extra_latency_ms = 10.0;
+    profile.latency_jitter_ms = 30.0;
+    profile.slow_tail_prob = 0.05;
+    profile.timeout_ms = 5000.0;
+    injector.SetProfile(sid, profile);
+  }
+
+  // Two attempts per scan: a scan drops out with probability rate², which
+  // is what actually stresses failover (three attempts would retry nearly
+  // everything back to health and measure only latency). The breaker
+  // cooldown is tuned to the ~300 ms simulated query cadence — with the
+  // 2 s default an opened breaker would blank a source for the rest of the
+  // run, and at rate 0.5 enough simultaneous short-circuits can take every
+  // sibling out at once.
+  ReliabilityOptions options;
+  options.retry.max_attempts = 2;
+  options.breaker.open_cooldown_ms = 600.0;
+  options.breaker.failure_threshold = 0.6;
+  ReliableExecutor executor(universe, arm.solution, options);
+  executor.set_fault_injector(&injector);
+  executor.set_signature_cache(arm.signatures);
+
+  FaultedRun run;
+  size_t rows = 0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    auto report = executor.Execute(Query{});
+    if (!report.ok()) {
+      std::fprintf(stderr, "execute: %s\n",
+                   report.status().ToString().c_str());
+      ++run.hard_fail_violations;
+      continue;
+    }
+    const ExecutionReport& r = report.ValueOrDie();
+    rows += r.result.records.size();
+    run.estimate = r.completeness_estimate;
+    // Transient faults never take the whole selection down; a hard-failed
+    // query here means failover is broken.
+    if (r.outcome == QueryOutcome::kFailed) ++run.hard_fail_violations;
+  }
+  if (arm.healthy_rows > 0) {
+    run.completeness =
+        static_cast<double>(rows) /
+        static_cast<double>(arm.healthy_rows * num_queries);
+  }
+  run.retries = executor.stats().retries;
+  run.short_circuits = executor.stats().breaker_short_circuits;
+  run.rescues = executor.stats().failover_rescues;
+  return run;
+}
+
+int Main() {
+  const size_t universe_size = QuickMode() ? 80 : 200;
+  const size_t num_chosen = 16;
+  const size_t num_queries = 5;
+  const std::vector<double> fault_rates = {0.1, 0.2, 0.3, 0.5};
+
+  std::printf(
+      "Availability vs redundancy: what the (inverted) F4 weight buys when "
+      "sources fail\n"
+      "universe: %zu sources, m = %zu, %zu full-scan queries per fault "
+      "rate\n"
+      "expectation: the redundant arm retains strictly more completeness "
+      "at fault rates >= 0.2,\n"
+      "and no query hard-fails while any selected source is alive\n\n",
+      universe_size, num_chosen, num_queries);
+
+  // Overlap must be structurally available for F4's orientation to matter:
+  // shrink the tuple pool relative to the summed cardinalities so sources
+  // genuinely replicate each other's data (the paper's pool is ~6x the
+  // median source; here it is ~3x the largest).
+  GeneratorConfig workload = bench::PaperWorkload(universe_size);
+  workload.tuple_pool_size = QuickMode() ? 120'000 : 600'000;
+  workload.min_cardinality = QuickMode() ? 2'000 : 10'000;
+  workload.max_cardinality = QuickMode() ? 40'000 : 200'000;
+  auto generated = GenerateUniverse(workload);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const Universe& universe = generated.ValueOrDie().universe;
+
+  // Arm A: overlap-blind (w4 = 0, weight shifted to coverage/cardinality).
+  MubeConfig blind_config = bench::BenchConfig(universe_size, num_chosen);
+  blind_config.qefs = {
+      {QefSpec::Kind::kMatching, 0.30, "", "", false},
+      {QefSpec::Kind::kCardinality, 0.25, "", "", false},
+      {QefSpec::Kind::kCoverage, 0.30, "", "", false},
+      {QefSpec::Kind::kRedundancy, 0.00, "", "", false},
+      {QefSpec::Kind::kCharacteristic, 0.15, "mttf", "wsum", false},
+  };
+  // Arm B: replication-seeking (high w4, inverted to reward overlap).
+  MubeConfig redundant_config = bench::BenchConfig(universe_size, num_chosen);
+  redundant_config.qefs = {
+      {QefSpec::Kind::kMatching, 0.15, "", "", false},
+      {QefSpec::Kind::kCardinality, 0.05, "", "", false},
+      {QefSpec::Kind::kCoverage, 0.10, "", "", false},
+      {QefSpec::Kind::kRedundancy, 0.60, "", "", true},
+      {QefSpec::Kind::kCharacteristic, 0.10, "mttf", "wsum", false},
+  };
+
+  Arm arms[2] = {{"w4=0", {}, nullptr}, {"high w4", {}, nullptr}};
+  auto blind_engine = Mube::Create(&universe, blind_config);
+  auto redundant_engine = Mube::Create(&universe, redundant_config);
+  if (!blind_engine.ok() || !redundant_engine.ok()) {
+    std::fprintf(stderr, "engine creation failed\n");
+    return 1;
+  }
+  Mube* engines[2] = {blind_engine.ValueOrDie().get(),
+                      redundant_engine.ValueOrDie().get()};
+  for (int a = 0; a < 2; ++a) {
+    RunSpec spec;
+    spec.seed = 7;
+    auto result = engines[a]->Run(spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "solve (%s): %s\n", arms[a].label,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    arms[a].solution = result.ValueOrDie().solution;
+    arms[a].signatures = &engines[a]->signatures();
+
+    // Healthy baseline: no injector attached — also checks the zero-fault
+    // path reports a fully answered query.
+    ReliableExecutor healthy(universe, arms[a].solution);
+    auto report = healthy.Execute(Query{});
+    if (!report.ok() ||
+        report.ValueOrDie().outcome != QueryOutcome::kAnswered) {
+      std::fprintf(stderr, "healthy run (%s) not fully answered\n",
+                   arms[a].label);
+      return 1;
+    }
+    arms[a].healthy_rows = report.ValueOrDie().result.records.size();
+    std::printf("%s: Q = %.4f, replication factor %.2fx, healthy rows %zu\n",
+                arms[a].label, arms[a].solution.overall,
+                ReplicationFactor(universe, arms[a]), arms[a].healthy_rows);
+  }
+  std::printf("\n");
+  bench::PrintHeader({"fault rate", "comp w4=0", "comp high", "est w4=0",
+                      "est high", "retries", "trips", "rescues"});
+
+  bool acceptance_ok = true;
+  size_t violations = 0;
+  const size_t replicates = 3;  // average out which picks die at each rate
+  for (double rate : fault_rates) {
+    FaultedRun blind, redundant;
+    for (uint64_t r = 0; r < replicates; ++r) {
+      FaultedRun b = RunFaulted(universe, arms[0], rate, num_queries, r);
+      FaultedRun h = RunFaulted(universe, arms[1], rate, num_queries, r);
+      blind.completeness += b.completeness / replicates;
+      redundant.completeness += h.completeness / replicates;
+      blind.estimate += b.estimate / replicates;
+      redundant.estimate += h.estimate / replicates;
+      blind.retries += b.retries;
+      redundant.retries += h.retries;
+      blind.short_circuits += b.short_circuits;
+      redundant.short_circuits += h.short_circuits;
+      blind.rescues += b.rescues;
+      redundant.rescues += h.rescues;
+      violations += b.hard_fail_violations + h.hard_fail_violations;
+    }
+    std::printf("%14.2f%14.4f%14.4f%14.4f%14.4f%14zu%14zu%14zu\n", rate,
+                blind.completeness, redundant.completeness, blind.estimate,
+                redundant.estimate, blind.retries + redundant.retries,
+                blind.short_circuits + redundant.short_circuits,
+                blind.rescues + redundant.rescues);
+    std::fflush(stdout);
+    if (rate >= 0.2 && redundant.completeness <= blind.completeness) {
+      acceptance_ok = false;
+    }
+  }
+  if (violations > 0) acceptance_ok = false;
+
+  std::printf(
+      "\n%s: redundant selection %s strictly more completeness at fault "
+      "rates >= 0.2 (%zu hard-fail violations)\n",
+      acceptance_ok ? "PASS" : "FAIL",
+      acceptance_ok ? "retains" : "fails to retain", violations);
+  return acceptance_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mube
+
+int main() { return mube::Main(); }

@@ -155,8 +155,12 @@ int main(int argc, char** argv) {
       if (!out) {
         status = mube::Status::IoError("cannot write " + path);
       } else {
-        out << s.SaveState();
-        std::printf("saved session state to %s\n", path.c_str());
+        auto saved = s.SaveState();
+        status = saved.status();
+        if (saved.ok()) {
+          out << saved.ValueOrDie();
+          std::printf("saved session state to %s\n", path.c_str());
+        }
       }
     } else if (cmd == "load") {
       std::string path;

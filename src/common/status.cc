@@ -31,6 +31,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "I/O error";
     case StatusCode::kInfeasible:
       return "Infeasible";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

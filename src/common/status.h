@@ -27,6 +27,8 @@ enum class StatusCode : int8_t {
   kInternal = 7,
   kIoError = 8,
   kInfeasible = 9,  ///< Optimization/matching problem has no feasible answer.
+  kUnavailable = 10,        ///< A source failed to answer (transient or down).
+  kDeadlineExceeded = 11,   ///< The per-query time budget ran out.
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -80,6 +82,12 @@ class Status {
   static Status Infeasible(std::string message) {
     return Status(StatusCode::kInfeasible, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -91,6 +99,10 @@ class Status {
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -13,7 +13,7 @@ std::string QefSpec::DisplayName() const {
     case Kind::kCoverage:
       return "coverage";
     case Kind::kRedundancy:
-      return "redundancy";
+      return invert ? "redundancy:inverted" : "redundancy";
     case Kind::kCharacteristic:
       return characteristic + ":" + aggregator + (invert ? ":inverted" : "");
   }

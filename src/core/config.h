@@ -28,9 +28,13 @@ struct QefSpec {
   Kind kind = Kind::kMatching;
   double weight = 0.0;
   /// For kCharacteristic only: characteristic name, aggregator name
-  /// ("wsum", "mean", "min", "max"), and orientation.
+  /// ("wsum", "mean", "min", "max").
   std::string characteristic;
   std::string aggregator = "wsum";
+  /// Orientation flip. For kCharacteristic: smaller raw values are better.
+  /// For kRedundancy: *reward* overlap instead of penalizing it — selects
+  /// replicated source sets whose redundancy buys availability under
+  /// failures (see src/reliability). Ignored by the other kinds.
   bool invert = false;
 
   /// Display name matching the constructed Qef's name().

@@ -112,7 +112,10 @@ Result<MubeResult> Mube::Run(const RunSpec& spec) const {
         qef = std::make_unique<CoverageQef>(*universe_, *signatures_);
         break;
       case QefSpec::Kind::kRedundancy:
-        qef = std::make_unique<RedundancyQef>(*universe_, *signatures_);
+        // invert = reward overlap: select *for* replication (availability)
+        // instead of against it (transfer overhead).
+        qef = std::make_unique<RedundancyQef>(*universe_, *signatures_,
+                                              qspec.invert);
         break;
       case QefSpec::Kind::kCharacteristic: {
         MUBE_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> aggregator,

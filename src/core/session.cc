@@ -230,6 +230,29 @@ void Session::PruneStaleConstraints() {
   if (dropped) ga_constraints_ = std::move(kept);
 }
 
+void Session::RecordExecution(const ExecutionReport& report) {
+  reliability_stats_.MergeReport(report);
+  for (const SourceScanLog& log : report.scans) {
+    SourceHealth& health = source_health_[log.source_id];
+    switch (log.status) {
+      case ScanStatus::kOk:
+        ++health.scans_ok;
+        health.last_fault = FaultKind::kNone;
+        break;
+      case ScanStatus::kFailed:
+      case ScanStatus::kDeadlineSkipped:
+        ++health.scans_failed;
+        health.last_fault = log.last_fault;
+        break;
+      case ScanStatus::kShortCircuited:
+        ++health.short_circuits;
+        break;
+      case ScanStatus::kSkippedCannotAnswer:
+        break;  // not a health signal: the schema, not the source
+    }
+  }
+}
+
 std::string Session::RenderLastResult() const {
   if (!has_result()) return "(no result yet)\n";
   const MubeResult& result = last_result();
@@ -251,7 +274,7 @@ std::string Session::RenderLastResult() const {
   return out.str();
 }
 
-std::string Session::SaveState() const {
+Result<std::string> Session::SaveState() const {
   std::ostringstream out;
   out << "# mube session state v1\n";
   const Universe& universe = mube_->universe();
@@ -285,11 +308,88 @@ std::string Session::SaveState() const {
   if (max_sources_ > 0) out << "max_sources " << max_sources_ << "\n";
   if (!optimizer_.empty()) out << "optimizer " << optimizer_ << "\n";
   out << "seed " << seed_ << "\n";
+  if (!churn_log_.empty()) {
+    // The constraints above name sources as they exist *after* this churn;
+    // a restore must replay it before resolving them.
+    MUBE_ASSIGN_OR_RETURN(std::string log, churn_log_.Serialize());
+    out << "churn_log begin\n" << log << "churn_log end\n";
+  }
   return out.str();
 }
 
 Status Session::RestoreState(const std::string& blob) {
-  // Stage everything, then commit atomically.
+  // Separate the churn block from the constraint directives: the saved
+  // constraints name sources as they exist after the churn, so the missing
+  // churn suffix must replay first.
+  std::vector<std::pair<int, std::string>> directives;  // (line_no, raw)
+  std::ostringstream churn_blob;
+  bool has_churn = false;
+  bool in_churn = false;
+  {
+    int line_no = 0;
+    for (const std::string& raw : Split(blob, '\n')) {
+      ++line_no;
+      std::string_view trimmed = Trim(raw);
+      if (in_churn) {
+        if (trimmed == "churn_log end") {
+          in_churn = false;
+        } else {
+          churn_blob << raw << "\n";
+        }
+        continue;
+      }
+      if (trimmed == "churn_log begin") {
+        if (has_churn) {
+          return Status::InvalidArgument(
+              "session state line " + std::to_string(line_no) +
+              ": duplicate churn_log block");
+        }
+        has_churn = true;
+        in_churn = true;
+        continue;
+      }
+      directives.emplace_back(line_no, raw);
+    }
+    if (in_churn) {
+      return Status::InvalidArgument(
+          "session state: unterminated churn_log block");
+    }
+  }
+
+  if (has_churn) {
+    MUBE_ASSIGN_OR_RETURN(ChurnLog saved, ChurnLog::Parse(churn_blob.str()));
+    if (!saved.empty() && delta_universe_ == nullptr) {
+      return Status::FailedPrecondition(
+          "saved state carries a churn log; restoring it requires a "
+          "DeltaUniverse-backed session");
+    }
+    if (churn_log_.size() > saved.size()) {
+      return Status::FailedPrecondition(
+          "session has applied more churn than the saved state records");
+    }
+    // The applied log must be a prefix of the saved one — otherwise this
+    // session's catalog diverged and the saved names mean something else.
+    ChurnLog prefix;
+    prefix.Append(std::vector<ChurnEvent>(
+        saved.events().begin(),
+        saved.events().begin() +
+            static_cast<std::ptrdiff_t>(churn_log_.size())));
+    MUBE_ASSIGN_OR_RETURN(std::string current_text, churn_log_.Serialize());
+    MUBE_ASSIGN_OR_RETURN(std::string prefix_text, prefix.Serialize());
+    if (current_text != prefix_text) {
+      return Status::FailedPrecondition(
+          "session's applied churn diverges from the saved log");
+    }
+    if (churn_log_.size() < saved.size()) {
+      const std::vector<ChurnEvent> suffix(
+          saved.events().begin() +
+              static_cast<std::ptrdiff_t>(churn_log_.size()),
+          saved.events().end());
+      MUBE_RETURN_IF_ERROR(ApplyChurn(suffix));
+    }
+  }
+
+  // Stage the constraint state, then commit atomically.
   std::vector<uint32_t> pins;
   MediatedSchema gas;
   std::vector<double> weights;
@@ -298,9 +398,7 @@ Status Session::RestoreState(const std::string& blob) {
   std::string optimizer;
   uint64_t seed = seed_;
 
-  int line_no = 0;
-  for (const std::string& raw : Split(blob, '\n')) {
-    ++line_no;
+  for (const auto& [line_no, raw] : directives) {
     std::string_view line = Trim(raw);
     if (line.empty() || line.front() == '#') continue;
     auto fail = [&](const std::string& why) {

@@ -1,6 +1,7 @@
 #ifndef MUBE_CORE_SESSION_H_
 #define MUBE_CORE_SESSION_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "dynamic/churn.h"
 #include "dynamic/delta_universe.h"
 #include "dynamic/re_optimizer.h"
+#include "reliability/reliable_executor.h"
 
 /// \file session.h
 /// The iterative feedback loop of paper §6: the user runs µBE, inspects the
@@ -102,6 +104,33 @@ class Session {
   }
   /// @}
 
+  /// \name Execution health (fed by the reliability layer)
+  /// @{
+  /// Per-source availability as the session has observed it.
+  struct SourceHealth {
+    size_t scans_ok = 0;
+    size_t scans_failed = 0;
+    size_t short_circuits = 0;
+    /// Last injected fault seen on a failed scan (kNone after a success).
+    FaultKind last_fault = FaultKind::kNone;
+  };
+
+  /// Folds one resilient query execution into the session's cumulative
+  /// reliability stats and per-source health map — this is how breaker
+  /// trips and degraded answers become visible at the same surface where
+  /// the user steers the next iteration (pin a replica, re-weight F4...).
+  void RecordExecution(const ExecutionReport& report);
+
+  /// Cumulative counters over every recorded execution.
+  const ReliabilityStats& reliability_stats() const {
+    return reliability_stats_;
+  }
+  /// Health of each source that has appeared in a recorded execution.
+  const std::map<uint32_t, SourceHealth>& source_health() const {
+    return source_health_;
+  }
+  /// @}
+
   /// All iteration results, oldest first.
   const std::vector<MubeResult>& history() const { return history_; }
   bool has_result() const { return !history_.empty(); }
@@ -120,14 +149,21 @@ class Session {
   /// \name Persistence
   /// The constraint state (pins, GA constraints, knobs) is what encodes
   /// the user's accumulated domain knowledge — it is worth keeping across
-  /// sessions; results are recomputable and are not saved.
+  /// sessions; results are recomputable and are not saved. A churn-capable
+  /// session also saves its churn log, because the constraint state only
+  /// makes sense against the catalog those events produced.
   /// @{
-  /// Serializes the current constraint state to a line-oriented text blob.
-  std::string SaveState() const;
-  /// Replaces the constraint state with a previously saved blob. On error
-  /// the session is left unchanged. Source/attribute names are re-resolved
-  /// against the current universe, so a catalog that dropped a pinned
-  /// source makes the restore fail loudly rather than silently forget it.
+  /// Serializes the current constraint state (and, for churn-capable
+  /// sessions, the applied churn log) to a line-oriented text blob.
+  Result<std::string> SaveState() const;
+  /// Replaces the constraint state with a previously saved blob. If the
+  /// blob carries a churn log, this session's applied log must be a prefix
+  /// of it; the missing suffix is replayed through ApplyChurn *before*
+  /// constraint names are resolved, so pins recorded after churn resolve
+  /// against the catalog they were saved under. Constraint errors leave the
+  /// constraint state unchanged, but churn already replayed stays applied
+  /// (catalog mutations are not undoable). A blob with churn cannot be
+  /// restored into a static-universe session.
   Status RestoreState(const std::string& blob);
   /// @}
 
@@ -153,6 +189,8 @@ class Session {
   uint64_t seed_ = 1;
   std::string optimizer_;  // empty = config default
   std::vector<MubeResult> history_;
+  ReliabilityStats reliability_stats_;
+  std::map<uint32_t, SourceHealth> source_health_;
 };
 
 }  // namespace mube

@@ -7,16 +7,53 @@
 namespace mube {
 
 std::string ExecutionResult::Summary() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "%zu rows from %zu sources (%llu transferred, %llu dups, "
-                "%llu conflicts, %.1f ms sequential / %.1f ms parallel)",
+                "%zu rows from %zu sources, %zu skipped (%llu transferred, "
+                "%llu dups, %llu conflicts, %.1f ms sequential / %.1f ms "
+                "parallel)",
                 records.size(), sources_contacted,
+                skipped_cannot_answer.size(),
                 static_cast<unsigned long long>(tuples_transferred),
                 static_cast<unsigned long long>(duplicates_merged),
                 static_cast<unsigned long long>(conflicts), total_cost_ms,
                 parallel_latency_ms);
   return buf;
+}
+
+void MergeScanIntoResult(SourceScanResult scan, ExecutionResult* result,
+                         std::unordered_map<uint64_t, size_t>* row_of) {
+  result->tuples_scanned += scan.tuples_scanned;
+  result->tuples_transferred += scan.records.size();
+  result->total_cost_ms += scan.cost_ms;
+  result->parallel_latency_ms =
+      std::max(result->parallel_latency_ms, scan.cost_ms);
+
+  for (MediatedRecord& record : scan.records) {
+    auto [it, inserted] =
+        row_of->try_emplace(record.tuple_id, result->records.size());
+    if (inserted) {
+      result->records.push_back(std::move(record));
+      continue;
+    }
+    // Duplicate: merge into the existing row.
+    ++result->duplicates_merged;
+    MediatedRecord& merged = result->records[it->second];
+    merged.provenance.push_back(record.provenance.front());
+    for (size_t g = 0; g < merged.ga_values.size(); ++g) {
+      if (!record.ga_values[g].has_value()) continue;
+      if (!merged.ga_values[g].has_value()) {
+        merged.ga_values[g] = record.ga_values[g];  // fill a gap
+      } else if (*merged.ga_values[g] != *record.ga_values[g]) {
+        // Two sources disagree: the GA mixes concepts (or the sources
+        // genuinely conflict). First writer wins; flag the row.
+        if (!merged.has_conflict) {
+          merged.has_conflict = true;
+          ++result->conflicts;
+        }
+      }
+    }
+  }
 }
 
 MediatedExecutor::MediatedExecutor(const Universe& universe,
@@ -46,44 +83,17 @@ Result<ExecutionResult> MediatedExecutor::Execute(const Query& query) const {
   std::unordered_map<uint64_t, size_t> row_of;
 
   for (const SourceEngine& engine : engines_) {
-    if (!engine.CanAnswer(query)) continue;
+    if (!engine.CanAnswer(query)) {
+      result.skipped_cannot_answer.push_back(engine.source_id());
+      continue;
+    }
     ++result.sources_contacted;
     // Per-source limits stay off: the global limit applies after merging,
     // and a source-side cut could starve tuples another source lacks.
     Query unlimited = query;
     unlimited.limit = 0;
-    SourceScanResult scan = engine.Execute(unlimited);
-    result.tuples_scanned += scan.tuples_scanned;
-    result.tuples_transferred += scan.records.size();
-    result.total_cost_ms += scan.cost_ms;
-    result.parallel_latency_ms =
-        std::max(result.parallel_latency_ms, scan.cost_ms);
-
-    for (MediatedRecord& record : scan.records) {
-      auto [it, inserted] =
-          row_of.try_emplace(record.tuple_id, result.records.size());
-      if (inserted) {
-        result.records.push_back(std::move(record));
-        continue;
-      }
-      // Duplicate: merge into the existing row.
-      ++result.duplicates_merged;
-      MediatedRecord& merged = result.records[it->second];
-      merged.provenance.push_back(record.provenance.front());
-      for (size_t g = 0; g < merged.ga_values.size(); ++g) {
-        if (!record.ga_values[g].has_value()) continue;
-        if (!merged.ga_values[g].has_value()) {
-          merged.ga_values[g] = record.ga_values[g];  // fill a gap
-        } else if (*merged.ga_values[g] != *record.ga_values[g]) {
-          // Two sources disagree: the GA mixes concepts (or the sources
-          // genuinely conflict). First writer wins; flag the row.
-          if (!merged.has_conflict) {
-            merged.has_conflict = true;
-            ++result.conflicts;
-          }
-        }
-      }
-    }
+    MUBE_ASSIGN_OR_RETURN(SourceScanResult scan, engine.Execute(unlimited));
+    MergeScanIntoResult(std::move(scan), &result, &row_of);
   }
 
   if (query.limit > 0 && result.records.size() > query.limit) {

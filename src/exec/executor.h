@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -27,6 +28,11 @@ struct ExecutionResult {
   std::vector<MediatedRecord> records;
   /// Sources that could evaluate all predicates and were contacted.
   size_t sources_contacted = 0;
+  /// Selected sources that could NOT evaluate every predicate and were
+  /// therefore not contacted. Recording them (instead of silently dropping
+  /// them) is what lets callers tell "full coverage" from "the schema maps
+  /// this query onto only part of the solution".
+  std::vector<uint32_t> skipped_cannot_answer;
   /// Total tuples scanned across contacted sources.
   uint64_t tuples_scanned = 0;
   /// Tuples returned by sources before duplicate merging.
@@ -43,6 +49,15 @@ struct ExecutionResult {
 
   std::string Summary() const;
 };
+
+/// \brief Folds one source scan into a partial execution result: counters,
+/// duplicate merging by tuple id (first value wins per GA, gaps filled,
+/// disagreements flagged as conflicts), provenance. `row_of` maps tuple id
+/// to index in `result->records` and must persist across the scans of one
+/// query. Shared by MediatedExecutor and the reliability layer's failover
+/// executor so degraded and healthy executions merge identically.
+void MergeScanIntoResult(SourceScanResult scan, ExecutionResult* result,
+                         std::unordered_map<uint64_t, size_t>* row_of);
 
 /// \brief Executes mediated queries over one µBE solution.
 class MediatedExecutor {

@@ -46,8 +46,13 @@ bool SourceEngine::CanAnswer(const Query& query) const {
   return true;
 }
 
-SourceScanResult SourceEngine::Execute(const Query& query) const {
-  MUBE_CHECK(CanAnswer(query));
+Result<SourceScanResult> SourceEngine::Execute(const Query& query) const {
+  if (!CanAnswer(query)) {
+    return Status::FailedPrecondition(
+        "source '" + universe_.source(source_id_).name() +
+        "' cannot answer " + query.ToString() +
+        " (a filtered GA has no local attribute here)");
+  }
   const Source& source = universe_.source(source_id_);
 
   SourceScanResult result;

@@ -60,9 +60,12 @@ class SourceEngine {
   bool CanAnswer(const Query& query) const;
 
   /// Scans the source. Records carry values for every GA the source
-  /// exposes and nullopt elsewhere. Requires CanAnswer(query). Sources
-  /// without tuple access return an empty result at latency cost only.
-  SourceScanResult Execute(const Query& query) const;
+  /// exposes and nullopt elsewhere. Sources without tuple access return an
+  /// empty result at latency cost only. Fails with FailedPrecondition when
+  /// !CanAnswer(query) — source access is fallible by design, so callers
+  /// (retry/failover in src/reliability, the mediated executor) handle
+  /// refusal through the same channel as injected unavailability.
+  Result<SourceScanResult> Execute(const Query& query) const;
 
   uint32_t source_id() const { return source_id_; }
 

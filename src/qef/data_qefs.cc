@@ -36,8 +36,8 @@ double CoverageQef::Evaluate(const std::vector<uint32_t>& source_ids) const {
 }
 
 RedundancyQef::RedundancyQef(const Universe& universe,
-                             const SignatureCache& cache)
-    : universe_(universe), cache_(cache) {}
+                             const SignatureCache& cache, bool reward_overlap)
+    : universe_(universe), cache_(cache), reward_overlap_(reward_overlap) {}
 
 double RedundancyQef::Evaluate(
     const std::vector<uint32_t>& source_ids) const {
@@ -53,15 +53,18 @@ double RedundancyQef::Evaluate(
     }
   }
   if (cooperative.empty()) return 0.0;  // paper: uncooperative => 0 QEF
-  if (cooperative.size() == 1) return 1.0;  // a single source overlaps nothing
-  if (sum_cardinality == 0) return 1.0;
 
-  const double union_estimate = cache_.EstimateUnion(cooperative);
-  const double k = static_cast<double>(cooperative.size());
-  const double ratio =
-      union_estimate / static_cast<double>(sum_cardinality);  // in (0, 1]
-  const double redundancy = (k * ratio - 1.0) / (k - 1.0);
-  return std::clamp(redundancy, 0.0, 1.0);
+  // Standard orientation: 1 = no overlap. A single source (or an empty
+  // data set) trivially overlaps nothing.
+  double value = 1.0;
+  if (cooperative.size() > 1 && sum_cardinality > 0) {
+    const double union_estimate = cache_.EstimateUnion(cooperative);
+    const double k = static_cast<double>(cooperative.size());
+    const double ratio =
+        union_estimate / static_cast<double>(sum_cardinality);  // in (0, 1]
+    value = std::clamp((k * ratio - 1.0) / (k - 1.0), 0.0, 1.0);
+  }
+  return reward_overlap_ ? 1.0 - value : value;
 }
 
 }  // namespace mube

@@ -57,15 +57,25 @@ class CoverageQef : public Qef {
 };
 
 /// \brief F4: degree of non-overlap among the selected sources.
+///
+/// With `reward_overlap` set, the orientation flips: Evaluate returns
+/// 1 − Redundancy(S), so *overlapping* source sets score high. That is the
+/// availability reading of F4 — duplicated tuples are no longer pure
+/// transfer overhead but replicas that keep queries answerable when a
+/// source goes down (see src/reliability). Exposed through QefSpec.invert.
 class RedundancyQef : public Qef {
  public:
-  RedundancyQef(const Universe& universe, const SignatureCache& cache);
+  RedundancyQef(const Universe& universe, const SignatureCache& cache,
+                bool reward_overlap = false);
   double Evaluate(const std::vector<uint32_t>& source_ids) const override;
-  std::string name() const override { return "redundancy"; }
+  std::string name() const override {
+    return reward_overlap_ ? "redundancy:inverted" : "redundancy";
+  }
 
  private:
   const Universe& universe_;
   const SignatureCache& cache_;
+  bool reward_overlap_;
 };
 
 }  // namespace mube

@@ -1,0 +1,122 @@
+#include "reliability/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mube {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  MUBE_CHECK(options_.window >= 1);
+  window_.assign(options_.window, false);
+}
+
+BreakerState CircuitBreaker::state(double now_ms) const {
+  if (state_ == BreakerState::kOpen && now_ms >= open_until_ms_) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+double CircuitBreaker::FailureRate() const {
+  if (window_filled_ == 0) return 0.0;
+  return static_cast<double>(window_failures_) /
+         static_cast<double>(window_filled_);
+}
+
+bool CircuitBreaker::AllowRequest(double now_ms) {
+  if (state_ == BreakerState::kOpen) {
+    if (now_ms < open_until_ms_) return false;
+    state_ = BreakerState::kHalfOpen;
+    half_open_streak_ = 0;
+    ++transitions_.half_opens;
+  }
+  return true;  // closed and half-open both admit (half-open = probing)
+}
+
+void CircuitBreaker::PushOutcome(bool failure) {
+  if (window_filled_ == window_.size()) {
+    // Overwriting the oldest entry.
+    if (window_[window_next_]) --window_failures_;
+  } else {
+    ++window_filled_;
+  }
+  window_[window_next_] = failure;
+  if (failure) ++window_failures_;
+  window_next_ = (window_next_ + 1) % window_.size();
+}
+
+void CircuitBreaker::Open(double now_ms) {
+  state_ = BreakerState::kOpen;
+  open_until_ms_ = now_ms + options_.open_cooldown_ms;
+  half_open_streak_ = 0;
+  ++transitions_.opens;
+}
+
+void CircuitBreaker::RecordSuccess(double now_ms) {
+  PushOutcome(false);
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++half_open_streak_ >= options_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+      half_open_streak_ = 0;
+      // A fresh start: the window's failures belong to the outage.
+      std::fill(window_.begin(), window_.end(), false);
+      window_failures_ = 0;
+      window_filled_ = 0;
+      window_next_ = 0;
+      ++transitions_.closes;
+    }
+  }
+  (void)now_ms;
+}
+
+void CircuitBreaker::RecordFailure(double now_ms) {
+  PushOutcome(true);
+  if (state_ == BreakerState::kHalfOpen) {
+    Open(now_ms);  // a failed probe re-opens immediately
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      window_filled_ >= options_.min_samples &&
+      FailureRate() >= options_.failure_threshold) {
+    Open(now_ms);
+  }
+}
+
+CircuitBreaker& BreakerBank::For(uint32_t source_id) {
+  auto it = breakers_.find(source_id);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(source_id, CircuitBreaker(options_)).first;
+  }
+  return it->second;
+}
+
+const CircuitBreaker* BreakerBank::Find(uint32_t source_id) const {
+  auto it = breakers_.find(source_id);
+  return it == breakers_.end() ? nullptr : &it->second;
+}
+
+CircuitBreaker::Transitions BreakerBank::TotalTransitions() const {
+  CircuitBreaker::Transitions total;
+  for (const auto& [sid, breaker] : breakers_) {
+    total.opens += breaker.transitions().opens;
+    total.half_opens += breaker.transitions().half_opens;
+    total.closes += breaker.transitions().closes;
+  }
+  return total;
+}
+
+}  // namespace mube

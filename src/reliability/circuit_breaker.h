@@ -1,0 +1,114 @@
+#ifndef MUBE_RELIABILITY_CIRCUIT_BREAKER_H_
+#define MUBE_RELIABILITY_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+/// \file circuit_breaker.h
+/// Per-source circuit breakers on the simulated clock. A breaker watches a
+/// sliding window of recent scan outcomes; when the failure rate crosses a
+/// threshold it *opens* and short-circuits further scans (the source is
+/// presumed down — contacting it only burns the query's deadline budget).
+/// After a cooldown the breaker lets a limited number of *probes* through
+/// (half-open); enough successes close it, any failure re-opens it.
+///
+/// All time is the execution layer's simulated cost_ms clock — breakers are
+/// exactly as deterministic as the fault schedule driving them.
+
+namespace mube {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateToString(BreakerState state);
+
+/// \brief Breaker tuning, shared by every source of one executor.
+struct CircuitBreakerOptions {
+  /// Sliding window of most-recent outcomes consulted for the rate.
+  size_t window = 16;
+  /// Outcomes required in the window before the rate can open the breaker
+  /// (prevents one early failure from reading as a 100% failure rate).
+  size_t min_samples = 4;
+  /// Open when failures / samples >= this.
+  double failure_threshold = 0.5;
+  /// Simulated ms an open breaker blocks scans before going half-open.
+  double open_cooldown_ms = 2000.0;
+  /// Consecutive half-open probe successes required to close.
+  size_t half_open_successes = 2;
+};
+
+/// \brief One source's closed/open/half-open state machine.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// The state as of `now_ms` (an open breaker past its cooldown reads as
+  /// half-open; the transition is recorded on the next AllowRequest).
+  BreakerState state(double now_ms) const;
+
+  /// True iff a scan may proceed at `now_ms`. An open breaker past its
+  /// cooldown transitions to half-open here and admits the probe; a
+  /// half-open breaker admits probes until one fails or enough succeed.
+  bool AllowRequest(double now_ms);
+
+  /// Records the outcome of an admitted scan ending at `now_ms`.
+  void RecordSuccess(double now_ms);
+  void RecordFailure(double now_ms);
+
+  /// Cumulative state-machine transition counts.
+  struct Transitions {
+    size_t opens = 0;
+    size_t half_opens = 0;
+    size_t closes = 0;
+  };
+  const Transitions& transitions() const { return transitions_; }
+
+  /// Failure rate over the current window (0 when empty).
+  double FailureRate() const;
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  void Open(double now_ms);
+  void PushOutcome(bool failure);
+
+  CircuitBreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  double open_until_ms_ = 0.0;
+  size_t half_open_streak_ = 0;
+  // Ring buffer of recent outcomes (true = failure).
+  std::vector<bool> window_;
+  size_t window_next_ = 0;
+  size_t window_filled_ = 0;
+  size_t window_failures_ = 0;
+  Transitions transitions_;
+};
+
+/// \brief Lazily grown map of per-source breakers with shared options.
+class BreakerBank {
+ public:
+  explicit BreakerBank(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  /// The breaker of `source_id`, created closed on first use.
+  CircuitBreaker& For(uint32_t source_id);
+
+  /// The breaker of `source_id`, or nullptr if never consulted.
+  const CircuitBreaker* Find(uint32_t source_id) const;
+
+  /// Transition counts summed over all breakers.
+  CircuitBreaker::Transitions TotalTransitions() const;
+
+  const std::map<uint32_t, CircuitBreaker>& breakers() const {
+    return breakers_;
+  }
+
+ private:
+  CircuitBreakerOptions options_;
+  std::map<uint32_t, CircuitBreaker> breakers_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_RELIABILITY_CIRCUIT_BREAKER_H_

@@ -1,0 +1,97 @@
+#include "reliability/fault_injector.h"
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace mube {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kHardDown:
+      return "hard-down";
+    case FaultKind::kCorruptSignature:
+      return "corrupt-signature";
+  }
+  return "?";
+}
+
+void FaultInjector::SetProfile(uint32_t source_id, FaultProfile profile) {
+  profiles_[source_id] = profile;
+}
+
+const FaultProfile* FaultInjector::ProfileFor(uint32_t source_id) const {
+  auto it = profiles_.find(source_id);
+  if (it == profiles_.end() || it->second.IsFaultFree()) return nullptr;
+  return &it->second;
+}
+
+uint64_t FaultInjector::attempt_count(uint32_t source_id) const {
+  auto it = attempt_counts_.find(source_id);
+  return it == attempt_counts_.end() ? 0 : it->second;
+}
+
+FaultOutcome FaultInjector::NextScanOutcome(uint32_t source_id) {
+  return NextOutcome(source_id, /*signature_fetch=*/false);
+}
+
+FaultOutcome FaultInjector::NextSignatureOutcome(uint32_t source_id) {
+  return NextOutcome(source_id, /*signature_fetch=*/true);
+}
+
+FaultOutcome FaultInjector::NextOutcome(uint32_t source_id,
+                                        bool signature_fetch) {
+  auto it = profiles_.find(source_id);
+  if (it == profiles_.end() || it->second.IsFaultFree()) {
+    return FaultOutcome{};  // no-fault fast path: no counter, no RNG
+  }
+  const FaultProfile& profile = it->second;
+  const uint64_t attempt = attempt_counts_[source_id]++;
+
+  if (profile.hard_down) {
+    return FaultOutcome{FaultKind::kHardDown, 0.0, 0};
+  }
+
+  // One attempt = one deterministic RNG stream, derived only from the
+  // injector seed, the source, and the attempt index — never from call
+  // order across sources.
+  const uint64_t stream =
+      Mix64(seed_ ^ Mix64((uint64_t{source_id} << 1) | 1) ^
+            Mix64(attempt + 0x9E3779B97F4A7C15ULL));
+  Rng rng(stream);
+
+  FaultOutcome outcome;
+  double latency = profile.extra_latency_ms;
+  if (profile.latency_jitter_ms > 0.0) {
+    latency += rng.UniformDouble(0.0, profile.latency_jitter_ms);
+  }
+  if (profile.slow_tail_prob > 0.0 && rng.Bernoulli(profile.slow_tail_prob)) {
+    latency *= profile.slow_tail_scale;
+  }
+  outcome.latency_ms = latency;
+
+  if (profile.timeout_ms > 0.0 && latency > profile.timeout_ms) {
+    outcome.kind = FaultKind::kTimeout;
+    outcome.latency_ms = profile.timeout_ms;  // the caller gave up here
+    return outcome;
+  }
+  if (profile.transient_failure_prob > 0.0 &&
+      rng.Bernoulli(profile.transient_failure_prob)) {
+    outcome.kind = FaultKind::kTransient;
+    return outcome;
+  }
+  if (signature_fetch && profile.corrupt_signature_prob > 0.0 &&
+      rng.Bernoulli(profile.corrupt_signature_prob)) {
+    outcome.kind = FaultKind::kCorruptSignature;
+    outcome.corruption_seed = Mix64(stream ^ 0xC0FFEEULL);
+    return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace mube

@@ -1,0 +1,122 @@
+#ifndef MUBE_RELIABILITY_FAULT_INJECTOR_H_
+#define MUBE_RELIABILITY_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+/// \file fault_injector.h
+/// Deterministic, seeded fault injection for source interactions. The paper
+/// motivates µBE with Internet-scale sources that are slow, uncooperative,
+/// or simply vanish (§1); this layer makes those failure modes a first-class
+/// *testable* property instead of an assumption the executor quietly
+/// violates. Every injected outcome is a pure function of
+/// (injector seed, source id, per-source attempt counter), so a fixed seed
+/// replays the exact same fault schedule — the reliability benches and the
+/// breaker property tests depend on that bit-for-bit determinism.
+///
+/// Faults live entirely on the *simulated* cost_ms clock the execution layer
+/// already charges; nothing here sleeps or touches wall time.
+
+namespace mube {
+
+/// \brief How one injected source interaction goes wrong.
+enum class FaultKind {
+  kNone,              ///< the attempt succeeds
+  kTransient,         ///< the attempt fails; a retry may succeed
+  kTimeout,           ///< the attempt exceeded the profile's timeout budget
+  kHardDown,          ///< the source is gone; no retry will ever succeed
+  kCorruptSignature,  ///< a signature fetch returns a corrupt/stale sketch
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// \brief Per-source failure behaviour. A default-constructed profile is
+/// fault-free and adds no latency.
+struct FaultProfile {
+  /// The source never answers (models a vanished endpoint). Dominates the
+  /// probabilistic knobs below.
+  bool hard_down = false;
+  /// Probability that any given attempt fails transiently.
+  double transient_failure_prob = 0.0;
+  /// Probability that a signature fetch silently returns a corrupted
+  /// (stale/bit-flipped) PCSA sketch instead of failing.
+  double corrupt_signature_prob = 0.0;
+  /// Latency distribution, added to whatever the cost model charges:
+  /// base + Uniform[0, jitter), multiplied by `slow_tail_scale` with
+  /// probability `slow_tail_prob` (the long tail of a congested source).
+  double extra_latency_ms = 0.0;
+  double latency_jitter_ms = 0.0;
+  double slow_tail_prob = 0.0;
+  double slow_tail_scale = 10.0;
+  /// When > 0, an attempt whose injected latency exceeds this budget is a
+  /// timeout: the caller is charged `timeout_ms` (it gave up then) and the
+  /// attempt fails.
+  double timeout_ms = 0.0;
+
+  bool IsFaultFree() const {
+    return !hard_down && transient_failure_prob <= 0.0 &&
+           corrupt_signature_prob <= 0.0 && extra_latency_ms <= 0.0 &&
+           latency_jitter_ms <= 0.0 && slow_tail_prob <= 0.0;
+  }
+};
+
+/// \brief Outcome of one injected attempt.
+struct FaultOutcome {
+  FaultKind kind = FaultKind::kNone;
+  /// Injected simulated latency of this attempt (added to the scan's own
+  /// cost). For timeouts this is the profile's timeout budget.
+  double latency_ms = 0.0;
+  /// For kCorruptSignature: deterministic seed for the sketch corruption.
+  uint64_t corruption_seed = 0;
+
+  bool ok() const { return kind == FaultKind::kNone; }
+  /// True for outcomes a retry can plausibly fix.
+  bool retryable() const {
+    return kind == FaultKind::kTransient || kind == FaultKind::kTimeout;
+  }
+};
+
+/// \brief Seeded per-source fault schedule generator.
+///
+/// Sources without a profile (or with a fault-free one) take a single
+/// branch and return immediately — the no-fault path adds no measurable
+/// work, so wiring an injector through a healthy system costs nothing.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  /// Installs (or replaces) the profile of one source.
+  void SetProfile(uint32_t source_id, FaultProfile profile);
+
+  /// The installed profile, or nullptr if the source is fault-free.
+  const FaultProfile* ProfileFor(uint32_t source_id) const;
+
+  /// Draws the outcome of the next scan attempt against `source_id`,
+  /// advancing that source's schedule position.
+  FaultOutcome NextScanOutcome(uint32_t source_id);
+
+  /// Draws the outcome of the next signature fetch (same schedule stream;
+  /// additionally subject to corrupt_signature_prob).
+  FaultOutcome NextSignatureOutcome(uint32_t source_id);
+
+  /// Attempts drawn so far against `source_id` (scans + signature fetches).
+  uint64_t attempt_count(uint32_t source_id) const;
+
+  /// Rewinds every per-source schedule to attempt 0 (profiles are kept), so
+  /// the exact same fault schedule can be replayed.
+  void Rewind() { attempt_counts_.clear(); }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  FaultOutcome NextOutcome(uint32_t source_id, bool signature_fetch);
+
+  uint64_t seed_;
+  std::unordered_map<uint32_t, FaultProfile> profiles_;
+  std::unordered_map<uint32_t, uint64_t> attempt_counts_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_RELIABILITY_FAULT_INJECTOR_H_

@@ -1,0 +1,372 @@
+#include "reliability/reliable_executor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace mube {
+
+const char* QueryOutcomeToString(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kAnswered:
+      return "answered";
+    case QueryOutcome::kDegraded:
+      return "degraded";
+    case QueryOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* ScanStatusToString(ScanStatus status) {
+  switch (status) {
+    case ScanStatus::kOk:
+      return "ok";
+    case ScanStatus::kFailed:
+      return "failed";
+    case ScanStatus::kShortCircuited:
+      return "short-circuited";
+    case ScanStatus::kSkippedCannotAnswer:
+      return "skipped-cannot-answer";
+    case ScanStatus::kDeadlineSkipped:
+      return "deadline-skipped";
+  }
+  return "?";
+}
+
+std::string ExecutionReport::Summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: %zu rows, %zu ok / %zu failed / %zu skipped sources, "
+      "%zu retries, %zu timeouts, %zu short-circuits, %zu rescues, "
+      "%zu lost GAs, completeness %.6f, %.3f ms simulated%s",
+      QueryOutcomeToString(outcome), result.records.size(),
+      sources_succeeded, sources_failed,
+      result.skipped_cannot_answer.size(), retries, timeouts,
+      breaker_short_circuits, failover_rescues, unrescued_gas,
+      completeness_estimate, simulated_ms,
+      deadline_exhausted ? ", deadline exhausted" : "");
+  return buf;
+}
+
+void ReliabilityStats::MergeReport(const ExecutionReport& report) {
+  ++queries;
+  switch (report.outcome) {
+    case QueryOutcome::kAnswered:
+      ++answered;
+      break;
+    case QueryOutcome::kDegraded:
+      ++degraded;
+      break;
+    case QueryOutcome::kFailed:
+      ++failed;
+      break;
+  }
+  for (const SourceScanLog& log : report.scans) {
+    scans_attempted += log.attempts;
+  }
+  scans_failed += report.sources_failed;
+  retries += report.retries;
+  timeouts += report.timeouts;
+  breaker_opens += report.breaker_opens;
+  breaker_half_opens += report.breaker_half_opens;
+  breaker_closes += report.breaker_closes;
+  breaker_short_circuits += report.breaker_short_circuits;
+  failover_rescues += report.failover_rescues;
+  unrescued_gas += report.unrescued_gas;
+  skipped_cannot_answer += report.result.skipped_cannot_answer.size();
+  if (report.deadline_exhausted) ++deadline_exhausted;
+}
+
+std::string ReliabilityStats::Summary() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%zu queries (%zu answered, %zu degraded, %zu failed), "
+      "%zu scans (%zu failed, %zu retries, %zu timeouts), "
+      "breakers: %zu opens / %zu half-opens / %zu closes / "
+      "%zu short-circuits, %zu rescues, %zu lost GAs, %zu skipped, "
+      "%zu deadline-exhausted",
+      queries, answered, degraded, failed, scans_attempted, scans_failed,
+      retries, timeouts, breaker_opens, breaker_half_opens, breaker_closes,
+      breaker_short_circuits, failover_rescues, unrescued_gas,
+      skipped_cannot_answer, deadline_exhausted);
+  return buf;
+}
+
+ReliableExecutor::ReliableExecutor(const Universe& universe,
+                                   std::vector<uint32_t> sources,
+                                   MediatedSchema schema,
+                                   ReliabilityOptions options,
+                                   CostModel cost_model)
+    : universe_(universe),
+      sources_(std::move(sources)),
+      schema_(std::move(schema)),
+      options_(options),
+      breakers_(options.breaker) {
+  engines_.reserve(sources_.size());
+  for (uint32_t sid : sources_) {
+    engines_.emplace_back(universe_, sid, schema_, cost_model);
+  }
+}
+
+ReliableExecutor::ReliableExecutor(const Universe& universe,
+                                   const SolutionEval& solution,
+                                   ReliabilityOptions options,
+                                   CostModel cost_model)
+    : ReliableExecutor(universe, solution.sources, solution.schema, options,
+                       cost_model) {}
+
+Result<ExecutionReport> ReliableExecutor::Execute(const Query& query) {
+  MUBE_RETURN_IF_ERROR(query.Validate(schema_));
+  const uint64_t query_index = query_counter_++;
+
+  ExecutionReport report;
+  std::unordered_map<uint64_t, size_t> row_of;
+  const double t0 = clock_ms_;
+  const CircuitBreaker::Transitions transitions_before =
+      breakers_.TotalTransitions();
+  const double deadline =
+      options_.retry.query_deadline_ms > 0.0
+          ? options_.retry.query_deadline_ms
+          : std::numeric_limits<double>::infinity();
+  // Backoff jitter must replay with the fault schedule: derive it from the
+  // injector seed (a fixed constant when running healthy) and the query
+  // index, never from global state.
+  const uint64_t backoff_seed =
+      Mix64((faults_ != nullptr ? faults_->seed() : 0x5EEDBA5EULL) ^
+            Mix64(query_index + 1));
+
+  double max_elapsed = 0.0;  // parallel latency across source timelines
+  size_t candidates = 0;
+  std::vector<uint32_t> succeeded;
+  std::vector<uint32_t> failed;
+
+  for (const SourceEngine& engine : engines_) {
+    const uint32_t sid = engine.source_id();
+    SourceScanLog log;
+    log.source_id = sid;
+
+    if (!engine.CanAnswer(query)) {
+      report.result.skipped_cannot_answer.push_back(sid);
+      log.status = ScanStatus::kSkippedCannotAnswer;
+      report.scans.push_back(log);
+      continue;
+    }
+    ++candidates;
+
+    // Each candidate's timeline starts at query start (parallel fan-out).
+    double elapsed = 0.0;
+    CircuitBreaker* breaker =
+        options_.use_breakers ? &breakers_.For(sid) : nullptr;
+    if (breaker != nullptr && !breaker->AllowRequest(t0)) {
+      // Open breaker: the source is presumed down; don't burn the deadline
+      // budget on it. No new evidence, so the persistence streak holds.
+      log.status = ScanStatus::kShortCircuited;
+      ++report.breaker_short_circuits;
+      report.scans.push_back(log);
+      failed.push_back(sid);
+      continue;
+    }
+
+    Rng backoff_rng(Mix64(backoff_seed ^ Mix64((uint64_t{sid} << 1) | 1)));
+    double previous_delay = 0.0;
+    bool success = false;
+    log.status = ScanStatus::kFailed;
+
+    while (log.attempts < options_.retry.max_attempts) {
+      if (elapsed >= deadline) {
+        report.deadline_exhausted = true;
+        if (log.attempts == 0) log.status = ScanStatus::kDeadlineSkipped;
+        break;
+      }
+      ++log.attempts;
+      FaultOutcome fault =
+          faults_ != nullptr ? faults_->NextScanOutcome(sid) : FaultOutcome{};
+      if (fault.ok()) {
+        Query unlimited = query;
+        unlimited.limit = 0;
+        // CanAnswer was checked above; the scan itself cannot fail.
+        MUBE_ASSIGN_OR_RETURN(SourceScanResult scan,
+                              engine.Execute(unlimited));
+        scan.cost_ms += fault.latency_ms;
+        elapsed += scan.cost_ms;
+        if (breaker != nullptr) breaker->RecordSuccess(t0 + elapsed);
+        MergeScanIntoResult(std::move(scan), &report.result, &row_of);
+        log.status = ScanStatus::kOk;
+        log.last_fault = FaultKind::kNone;
+        success = true;
+        break;
+      }
+
+      elapsed += fault.latency_ms;
+      log.last_fault = fault.kind;
+      if (fault.kind == FaultKind::kTimeout) ++report.timeouts;
+      if (breaker != nullptr) breaker->RecordFailure(t0 + elapsed);
+      if (!fault.retryable()) break;  // hard-down: retrying cannot help
+      if (log.attempts < options_.retry.max_attempts) {
+        const double delay =
+            NextBackoffMs(options_.retry, previous_delay, &backoff_rng);
+        previous_delay = delay;
+        if (elapsed + delay >= deadline) {
+          report.deadline_exhausted = true;
+          elapsed = deadline;
+          break;
+        }
+        elapsed += delay;
+      }
+    }
+
+    if (log.attempts > 0) report.retries += log.attempts - 1;
+    log.simulated_ms = elapsed;
+    max_elapsed = std::max(max_elapsed, elapsed);
+
+    SourceState& state = source_state_[sid];
+    if (success) {
+      succeeded.push_back(sid);
+      ++report.sources_succeeded;
+      state.consecutive_failures = 0;
+      state.ever_succeeded = true;
+      state.reported_persistent = false;
+    } else {
+      failed.push_back(sid);
+      // Failed-attempt time is real cost even though no rows arrived.
+      report.result.total_cost_ms += elapsed;
+      if (log.attempts > 0 && log.status != ScanStatus::kDeadlineSkipped) {
+        ++state.consecutive_failures;
+      }
+    }
+    report.scans.push_back(log);
+  }
+
+  report.sources_failed = failed.size();
+  report.simulated_ms = max_elapsed;
+  report.result.parallel_latency_ms = max_elapsed;
+  report.result.sources_contacted = report.sources_succeeded;
+  clock_ms_ += max_elapsed;
+
+  if (query.limit > 0 && report.result.records.size() > query.limit) {
+    report.result.records.resize(query.limit);
+  }
+
+  // ---- failover accounting: which of a failed source's GAs survived? ----
+  // Relevant GAs are the query's filtered GAs; for a full scan, every GA
+  // the failed source exposes. A surviving sibling inside the same GA is
+  // the Redundancy QEF paying off as availability.
+  for (const SourceScanLog& log : report.scans) {
+    if (log.status != ScanStatus::kFailed &&
+        log.status != ScanStatus::kShortCircuited &&
+        log.status != ScanStatus::kDeadlineSkipped) {
+      continue;
+    }
+    const SourceEngine* failed_engine = nullptr;
+    for (const SourceEngine& engine : engines_) {
+      if (engine.source_id() == log.source_id) {
+        failed_engine = &engine;
+        break;
+      }
+    }
+    std::set<size_t> relevant;
+    if (!query.predicates.empty()) {
+      for (const Predicate& p : query.predicates) relevant.insert(p.ga_index);
+    } else {
+      for (size_t g = 0; g < schema_.size(); ++g) {
+        if (failed_engine->LocalAttributeFor(g).has_value()) {
+          relevant.insert(g);
+        }
+      }
+    }
+    for (size_t g : relevant) {
+      if (!failed_engine->LocalAttributeFor(g).has_value()) continue;
+      bool rescued = false;
+      for (const SourceScanLog& other : report.scans) {
+        if (other.status != ScanStatus::kOk) continue;
+        for (const SourceEngine& engine : engines_) {
+          if (engine.source_id() == other.source_id) {
+            rescued = engine.LocalAttributeFor(g).has_value();
+            break;
+          }
+        }
+        if (rescued) break;
+      }
+      if (rescued) {
+        ++report.failover_rescues;
+      } else {
+        ++report.unrescued_gas;
+      }
+    }
+  }
+
+  // ---- outcome + completeness ----
+  if (candidates == 0 || report.sources_succeeded == 0) {
+    report.outcome = QueryOutcome::kFailed;
+    report.completeness_estimate = 0.0;
+  } else if (report.sources_failed == 0) {
+    report.outcome = QueryOutcome::kAnswered;
+    report.completeness_estimate = 1.0;
+  } else {
+    report.outcome = QueryOutcome::kDegraded;
+    double estimate = -1.0;
+    if (signatures_ != nullptr) {
+      std::vector<uint32_t> all = succeeded;
+      all.insert(all.end(), failed.begin(), failed.end());
+      const double healthy_union = signatures_->EstimateUnion(all);
+      if (healthy_union > 0.0) {
+        estimate = signatures_->EstimateUnion(succeeded) / healthy_union;
+      }
+    }
+    if (estimate < 0.0) {
+      // No (usable) signatures: fall back to overlap-blind cardinalities.
+      uint64_t got = 0, want = 0;
+      for (uint32_t sid : succeeded) {
+        got += universe_.source(sid).cardinality();
+      }
+      want = got;
+      for (uint32_t sid : failed) {
+        want += universe_.source(sid).cardinality();
+      }
+      estimate = want > 0 ? static_cast<double>(got) /
+                                static_cast<double>(want)
+                          : 0.0;
+    }
+    report.completeness_estimate = std::clamp(estimate, 0.0, 1.0);
+  }
+
+  const CircuitBreaker::Transitions transitions_after =
+      breakers_.TotalTransitions();
+  report.breaker_opens = transitions_after.opens - transitions_before.opens;
+  report.breaker_half_opens =
+      transitions_after.half_opens - transitions_before.half_opens;
+  report.breaker_closes =
+      transitions_after.closes - transitions_before.closes;
+
+  stats_.MergeReport(report);
+  return report;
+}
+
+std::vector<ChurnEvent> ReliableExecutor::DrainPersistentFailureEvents() {
+  std::vector<ChurnEvent> events;
+  for (auto& [sid, state] : source_state_) {
+    if (state.reported_persistent) continue;
+    if (state.consecutive_failures < options_.persistent_failure_threshold) {
+      continue;
+    }
+    const std::string& name = universe_.source(sid).name();
+    // A source that answered before may come back: stop trusting its data
+    // (uncooperative) but keep it in the catalog. One that never answered
+    // at all is treated as vanished.
+    events.push_back(state.ever_succeeded
+                         ? ChurnEvent::SetCooperative(name, false)
+                         : ChurnEvent::RemoveSource(name));
+    state.reported_persistent = true;
+  }
+  return events;
+}
+
+}  // namespace mube

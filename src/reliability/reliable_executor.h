@@ -1,0 +1,204 @@
+#ifndef MUBE_RELIABILITY_RELIABLE_EXECUTOR_H_
+#define MUBE_RELIABILITY_RELIABLE_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dynamic/churn.h"
+#include "exec/executor.h"
+#include "reliability/circuit_breaker.h"
+#include "reliability/fault_injector.h"
+#include "reliability/retry_policy.h"
+#include "sketch/signature_cache.h"
+
+/// \file reliable_executor.h
+/// The resilient mediated executor: MediatedExecutor's fan-out/merge
+/// semantics wrapped in retries with backoff, per-source circuit breakers,
+/// and redundancy failover accounting. This is where the paper's Redundancy
+/// QEF (F4) pays off as *availability*: when a chosen source is down, the
+/// sibling sources inside the same Global Attributes keep the query
+/// answerable — degraded (some tuples lost) instead of failed — and the
+/// ExecutionReport quantifies exactly how much of the healthy answer
+/// survived. Persistent failures are converted into ChurnEvents so the
+/// dynamic subsystem (src/dynamic) re-optimizes around dead sources.
+///
+/// All timing is the simulated cost_ms clock; with a fixed FaultInjector
+/// seed, repeated runs produce bitwise-identical reports.
+
+namespace mube {
+
+/// \brief How one query ended, availability-wise.
+enum class QueryOutcome {
+  kAnswered,  ///< every source that could answer did answer
+  kDegraded,  ///< some sources failed, but siblings kept the query alive
+  kFailed,    ///< no source produced an answer
+};
+
+const char* QueryOutcomeToString(QueryOutcome outcome);
+
+/// \brief How one source's scan ended within one query.
+enum class ScanStatus {
+  kOk,                  ///< answered (possibly after retries)
+  kFailed,              ///< all attempts failed
+  kShortCircuited,      ///< an open breaker blocked the scan
+  kSkippedCannotAnswer, ///< the source cannot evaluate every predicate
+  kDeadlineSkipped,     ///< the query's deadline budget ran out first
+};
+
+const char* ScanStatusToString(ScanStatus status);
+
+/// \brief Per-source scan record inside one ExecutionReport.
+struct SourceScanLog {
+  uint32_t source_id = 0;
+  ScanStatus status = ScanStatus::kOk;
+  /// Scan attempts actually issued (0 when skipped/short-circuited).
+  size_t attempts = 0;
+  /// The last injected fault seen, kNone if the final attempt succeeded.
+  FaultKind last_fault = FaultKind::kNone;
+  /// This source's simulated timeline within the query: attempt latencies,
+  /// scan costs, and backoff waits.
+  double simulated_ms = 0.0;
+};
+
+/// \brief Everything one resilient query execution observed.
+struct ExecutionReport {
+  QueryOutcome outcome = QueryOutcome::kAnswered;
+  /// The merged answer (identical merge rules to MediatedExecutor).
+  ExecutionResult result;
+  /// One entry per selected source, in selection order.
+  std::vector<SourceScanLog> scans;
+  size_t sources_succeeded = 0;
+  size_t sources_failed = 0;
+  size_t retries = 0;
+  size_t timeouts = 0;
+  size_t breaker_short_circuits = 0;
+  /// Breaker state-machine transitions observed during this query.
+  size_t breaker_opens = 0;
+  size_t breaker_half_opens = 0;
+  size_t breaker_closes = 0;
+  /// (failed source, relevant GA) pairs still covered by a surviving
+  /// sibling source in the same GA — F4 redundancy observed as failover.
+  size_t failover_rescues = 0;
+  /// (failed source, relevant GA) pairs with no surviving sibling: value
+  /// coverage actually lost.
+  size_t unrescued_gas = 0;
+  bool deadline_exhausted = false;
+  /// Estimated fraction of the healthy-plan answer that survived, in
+  /// [0, 1]: PCSA union of succeeded sources / union of all candidates
+  /// when a SignatureCache is attached, cardinality ratio otherwise.
+  double completeness_estimate = 1.0;
+  /// Simulated parallel latency of the query (max per-source timeline).
+  double simulated_ms = 0.0;
+
+  /// Deterministic one-line rendering (used by the determinism tests).
+  std::string Summary() const;
+};
+
+/// \brief Cumulative, session-visible reliability counters.
+struct ReliabilityStats {
+  size_t queries = 0;
+  size_t answered = 0;
+  size_t degraded = 0;
+  size_t failed = 0;
+  size_t scans_attempted = 0;
+  size_t scans_failed = 0;
+  size_t retries = 0;
+  size_t timeouts = 0;
+  size_t breaker_opens = 0;
+  size_t breaker_half_opens = 0;
+  size_t breaker_closes = 0;
+  size_t breaker_short_circuits = 0;
+  size_t failover_rescues = 0;
+  size_t unrescued_gas = 0;
+  size_t skipped_cannot_answer = 0;
+  size_t deadline_exhausted = 0;
+
+  /// Folds one query's report into the counters.
+  void MergeReport(const ExecutionReport& report);
+
+  std::string Summary() const;
+};
+
+/// \brief Knobs of the resilient execution layer.
+struct ReliabilityOptions {
+  RetryPolicy retry;
+  CircuitBreakerOptions breaker;
+  /// Breakers can be disabled to measure their contribution in isolation.
+  bool use_breakers = true;
+  /// Consecutive permanent scan failures after which a source is reported
+  /// by DrainPersistentFailureEvents.
+  size_t persistent_failure_threshold = 3;
+};
+
+/// \brief Executes mediated queries with retries, breakers, and failover.
+class ReliableExecutor {
+ public:
+  /// \param universe  the catalog (must outlive the executor)
+  /// \param sources   the selected sources S
+  /// \param schema    their mediated schema M
+  ReliableExecutor(const Universe& universe, std::vector<uint32_t> sources,
+                   MediatedSchema schema, ReliabilityOptions options = {},
+                   CostModel cost_model = {});
+
+  /// Convenience: wraps a solved SolutionEval.
+  ReliableExecutor(const Universe& universe, const SolutionEval& solution,
+                   ReliabilityOptions options = {}, CostModel cost_model = {});
+
+  /// Attaches the fault schedule. Not owned; nullptr (the default) is the
+  /// healthy path: no injector consulted, no extra work per scan.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
+  /// Attaches the engine's signature cache so completeness estimates use
+  /// PCSA unions (overlap-aware) instead of raw cardinality sums.
+  void set_signature_cache(const SignatureCache* cache) {
+    signatures_ = cache;
+  }
+
+  /// Runs `query` resiliently. Statuses are reserved for *caller* errors
+  /// (invalid query); source failures are data, reported in the
+  /// ExecutionReport, not errors. Advances the simulated clock and the
+  /// breaker state — executions are stateful on purpose.
+  Result<ExecutionReport> Execute(const Query& query);
+
+  /// Sources that crossed persistent_failure_threshold consecutive failed
+  /// scans since their last success, rendered as churn events: a source
+  /// that answered before is set uncooperative (it may come back), one
+  /// that never answered at all is removed. Each source is reported once;
+  /// a later successful scan re-arms it. Feed these into
+  /// Session::ApplyChurn + ReIterate to re-optimize around dead sources.
+  std::vector<ChurnEvent> DrainPersistentFailureEvents();
+
+  const ReliabilityStats& stats() const { return stats_; }
+  const BreakerBank& breakers() const { return breakers_; }
+  /// The executor's simulated clock (ms advanced across all queries).
+  double clock_ms() const { return clock_ms_; }
+  const MediatedSchema& schema() const { return schema_; }
+  const std::vector<uint32_t>& sources() const { return sources_; }
+
+ private:
+  struct SourceState {
+    size_t consecutive_failures = 0;
+    bool ever_succeeded = false;
+    bool reported_persistent = false;
+  };
+
+  const Universe& universe_;
+  std::vector<uint32_t> sources_;
+  MediatedSchema schema_;
+  ReliabilityOptions options_;
+  std::vector<SourceEngine> engines_;
+  FaultInjector* faults_ = nullptr;
+  const SignatureCache* signatures_ = nullptr;
+  BreakerBank breakers_;
+  ReliabilityStats stats_;
+  std::map<uint32_t, SourceState> source_state_;
+  double clock_ms_ = 0.0;
+  uint64_t query_counter_ = 0;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_RELIABILITY_RELIABLE_EXECUTOR_H_

@@ -1,0 +1,20 @@
+#include "reliability/retry_policy.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace mube {
+
+double NextBackoffMs(const RetryPolicy& policy, double previous_delay_ms,
+                     Rng* rng) {
+  const double base = std::max(0.0, policy.base_backoff_ms);
+  const double cap = std::max(base, policy.max_backoff_ms);
+  // AWS-style decorrelated jitter: Uniform(base, 3 * previous), capped.
+  const double hi = std::max(base, 3.0 * previous_delay_ms);
+  double delay = base;
+  if (hi > base) delay = rng->UniformDouble(base, hi);
+  return std::min(delay, cap);
+}
+
+}  // namespace mube

@@ -1,0 +1,41 @@
+#ifndef MUBE_RELIABILITY_RETRY_POLICY_H_
+#define MUBE_RELIABILITY_RETRY_POLICY_H_
+
+#include <cstddef>
+
+/// \file retry_policy.h
+/// Retry with exponential backoff + decorrelated jitter, simulated on the
+/// execution layer's cost_ms clock so benches stay deterministic. The
+/// decorrelated-jitter rule (each delay drawn uniformly from
+/// [base, 3 × previous delay], capped) spreads retries of many clients
+/// without the synchronized thundering herds plain exponential backoff
+/// produces — and unlike equal jitter it keeps the expected delay growing.
+
+namespace mube {
+
+class Rng;
+
+/// \brief Retry/backoff knobs shared by all sources of one executor.
+struct RetryPolicy {
+  /// Total attempts per scan (first try included). 1 = no retries.
+  size_t max_attempts = 3;
+  /// First backoff delay, and the floor of every jittered draw (ms).
+  double base_backoff_ms = 50.0;
+  /// Ceiling of any single backoff delay (ms).
+  double max_backoff_ms = 2000.0;
+  /// Per-query deadline budget on the simulated clock (ms); attempts and
+  /// backoff waits stop once a query has spent this much. 0 = unlimited.
+  double query_deadline_ms = 0.0;
+};
+
+/// \brief Draws the next decorrelated-jitter delay.
+///
+/// `previous_delay_ms` is the delay drawn before this one (pass 0 for the
+/// first backoff; the draw then starts the sequence at base_backoff_ms).
+/// Deterministic given the Rng state.
+double NextBackoffMs(const RetryPolicy& policy, double previous_delay_ms,
+                     Rng* rng);
+
+}  // namespace mube
+
+#endif  // MUBE_RELIABILITY_RETRY_POLICY_H_

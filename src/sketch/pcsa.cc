@@ -84,4 +84,18 @@ bool PcsaSketch::IsEmpty() const {
   return true;
 }
 
+PcsaSketch PcsaSketch::CorruptedCopy(uint64_t seed) const {
+  PcsaSketch corrupt = *this;
+  for (size_t i = 0; i < corrupt.bitmaps_.size(); ++i) {
+    const uint64_t h = Mix64(seed ^ (uint64_t{i} * 0x9E3779B97F4A7C15ULL));
+    if ((h & 3) != 0) continue;  // ~1/4 of the bitmaps
+    // Filling bits 0..k extends the bitmap's run of ones from the bottom,
+    // which is what raises the FM estimate (it reads the lowest zero bit) —
+    // and an OR-merge can never undo it.
+    const uint32_t k = static_cast<uint32_t>((h >> 2) % 8);
+    corrupt.bitmaps_[i] |= (uint64_t{2} << k) - 1;
+  }
+  return corrupt;
+}
+
 }  // namespace mube

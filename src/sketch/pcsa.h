@@ -76,6 +76,14 @@ class PcsaSketch {
   /// True iff no item has been added (all bitmaps zero).
   bool IsEmpty() const;
 
+  /// A deterministically corrupted copy: same config (so it still merges),
+  /// different bit pattern. Models the stale or bit-flipped signature an
+  /// unreliable source ships — roughly a quarter of the bitmaps get one
+  /// extra low bit set, which inflates the estimate the way stale-but-grown
+  /// source data would. The same (sketch, seed) pair always produces the
+  /// same corruption, so fault schedules replay bit-for-bit.
+  PcsaSketch CorruptedCopy(uint64_t seed) const;
+
   const PcsaConfig& config() const { return config_; }
   const std::vector<uint64_t>& bitmaps() const { return bitmaps_; }
 

@@ -72,6 +72,24 @@ void SignatureCache::ApplyChurn(const Universe& universe,
   RecomputeUniverseUnion();
 }
 
+void SignatureCache::OverrideSketch(uint32_t source_id,
+                                    std::optional<PcsaSketch> sketch) {
+  MUBE_CHECK(source_id < sketches_.size());
+  if (sketch.has_value()) MUBE_CHECK(sketch->config() == config_);
+  sketches_[source_id] = std::move(sketch);
+
+  const uint64_t dirty_bit = uint64_t{1} << (source_id % 64);
+  for (auto it = union_memo_.begin(); it != union_memo_.end();) {
+    if ((it->second.member_mask & dirty_bit) != 0) {
+      it = union_memo_.erase(it);
+      ++memo_invalidations_;
+    } else {
+      ++it;
+    }
+  }
+  RecomputeUniverseUnion();
+}
+
 const PcsaSketch* SignatureCache::SketchOf(uint32_t source_id) const {
   const auto& slot = sketches_[source_id];
   return slot.has_value() ? &*slot : nullptr;

@@ -50,6 +50,14 @@ class SignatureCache {
   void ApplyChurn(const Universe& universe,
                   const std::vector<uint32_t>& dirty_sources);
 
+  /// Replaces one source's cached signature wholesale — with a corrupted /
+  /// stale sketch (fault injection) or with nullopt (the source stopped
+  /// shipping one). Invalidates every memoized union whose membership mask
+  /// could contain the source and re-derives the universe union, so
+  /// subsequent estimates are consistent with the override. The sketch's
+  /// config must match the cache's (CHECK-enforced).
+  void OverrideSketch(uint32_t source_id, std::optional<PcsaSketch> sketch);
+
   /// True iff the source shipped a signature.
   bool IsCooperative(uint32_t source_id) const {
     return sketches_[source_id].has_value();

@@ -405,7 +405,9 @@ TEST_F(SessionTest, SaveAndRestoreStateRoundTrips) {
   GlobalAttribute ga({AttributeRef(0, 0), AttributeRef(1, 0)});
   ASSERT_TRUE(session_->AddGaConstraint(ga).ok());
 
-  const std::string blob = session_->SaveState();
+  auto saved = session_->SaveState();
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  const std::string blob = saved.ValueOrDie();
 
   // A fresh session over the same universe restores everything.
   auto fresh = Session::Create(&generated_->universe, FastConfig());
@@ -415,7 +417,9 @@ TEST_F(SessionTest, SaveAndRestoreStateRoundTrips) {
   EXPECT_EQ(restored.pinned_sources(), session_->pinned_sources());
   EXPECT_EQ(restored.ga_constraints(), session_->ga_constraints());
   // Save again: the round trip is a fixed point.
-  EXPECT_EQ(restored.SaveState(), blob);
+  auto resaved = restored.SaveState();
+  ASSERT_TRUE(resaved.ok());
+  EXPECT_EQ(resaved.ValueOrDie(), blob);
 
   // And it still drives an iteration respecting the restored state.
   auto result = restored.Iterate();

@@ -166,7 +166,7 @@ TEST(SourceEngineTest, FilterMatchesBruteForce) {
   Query query;
   query.predicates = {{0, CompareOp::kLt, 100}};
 
-  SourceScanResult scan = engine.Execute(query);
+  SourceScanResult scan = engine.Execute(query).ValueOrDie();
   EXPECT_EQ(scan.tuples_scanned, 3000u);
 
   // Brute force over the same virtual data.
@@ -191,7 +191,7 @@ TEST(SourceEngineTest, CostModelCharged) {
   cost.transfer_ms_per_tuple = 1.0;
   SourceEngine engine(f.universe, 0, f.schema, cost);
   Query all;  // no predicates: everything matches
-  SourceScanResult scan = engine.Execute(all);
+  SourceScanResult scan = engine.Execute(all).ValueOrDie();
   EXPECT_EQ(scan.records.size(), 3000u);
   EXPECT_DOUBLE_EQ(scan.cost_ms, 100.0 + 3000.0);
 }
@@ -200,7 +200,7 @@ TEST(SourceEngineTest, UncooperativeSourceLatencyOnly) {
   ExecFixture f;
   SourceEngine engine(f.universe, 4, f.schema);
   Query all;
-  SourceScanResult scan = engine.Execute(all);
+  SourceScanResult scan = engine.Execute(all).ValueOrDie();
   EXPECT_TRUE(scan.records.empty());
   EXPECT_EQ(scan.tuples_scanned, 0u);
   EXPECT_GT(scan.cost_ms, 0.0);
@@ -211,7 +211,7 @@ TEST(SourceEngineTest, SourceSideLimit) {
   SourceEngine engine(f.universe, 0, f.schema);
   Query query;
   query.limit = 5;
-  SourceScanResult scan = engine.Execute(query);
+  SourceScanResult scan = engine.Execute(query).ValueOrDie();
   EXPECT_EQ(scan.records.size(), 5u);
 }
 
@@ -267,8 +267,21 @@ TEST(MediatedExecutorTest, SkipsSourcesThatCannotAnswer) {
   author_query.predicates = {{1, CompareOp::kLt, 512}};
   auto result = exec.Execute(author_query);
   ASSERT_TRUE(result.ok());
-  // c.com has no author attribute -> only a, b, d contacted.
+  // c.com has no author attribute -> only a, b, d contacted, and the skip
+  // is recorded instead of silently read as full coverage.
   EXPECT_EQ(result.ValueOrDie().sources_contacted, 3u);
+  EXPECT_EQ(result.ValueOrDie().skipped_cannot_answer,
+            (std::vector<uint32_t>{2}));
+}
+
+TEST(SourceEngineTest, ExecuteFailsLoudlyWhenCannotAnswer) {
+  ExecFixture f;
+  SourceEngine c_engine(f.universe, 2, f.schema);  // titles only
+  Query author_query;
+  author_query.predicates = {{1, CompareOp::kEq, 7}};
+  auto scan = c_engine.Execute(author_query);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(MediatedExecutorTest, ConflictsExposeImpureGas) {

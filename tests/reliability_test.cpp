@@ -1,0 +1,815 @@
+// Tests for src/reliability: circuit-breaker state machine, retry/backoff
+// bounds, deterministic fault injection, the resilient executor (no-fault
+// equivalence, failover, deadlines, persistent-failure churn), sketch
+// corruption + cache overrides, and the Session-facing health surface
+// including churn-log persistence.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/mube.h"
+#include "core/session.h"
+#include "datagen/generator.h"
+#include "dynamic/churn.h"
+#include "dynamic/delta_universe.h"
+#include "exec/executor.h"
+#include "exec/query.h"
+#include "reliability/circuit_breaker.h"
+#include "reliability/fault_injector.h"
+#include "reliability/reliable_executor.h"
+#include "reliability/retry_policy.h"
+#include "schema/universe.h"
+#include "sketch/pcsa.h"
+#include "sketch/signature_cache.h"
+
+namespace mube {
+namespace {
+
+// ---------------------------------------------------------- shared fixture
+
+/// Four overlapping cooperative "books" sources. GA0 = title of a, b, c;
+/// GA1 = author of a, b, d — so every GA of every source has at least one
+/// sibling, and failover always has somewhere to go.
+struct ReliabilityFixture {
+  ReliabilityFixture() {
+    auto add = [&](const char* name, std::vector<Attribute> attrs,
+                   uint64_t lo, uint64_t hi) {
+      Source s(0, name);
+      for (Attribute& a : attrs) s.AddAttribute(std::move(a));
+      std::vector<uint64_t> t;
+      for (uint64_t i = lo; i < hi; ++i) t.push_back(i);
+      s.SetTuples(std::move(t));
+      universe.AddSource(std::move(s));
+    };
+    add("a.com", {Attribute("title", 0), Attribute("author", 1)}, 0, 3000);
+    add("b.com", {Attribute("title", 0), Attribute("author", 1)}, 2000,
+        5000);
+    add("c.com", {Attribute("title", 0)}, 4000, 6000);
+    add("d.com", {Attribute("author", 1)}, 0, 1000);
+
+    schema.Add(GlobalAttribute(
+        {AttributeRef(0, 0), AttributeRef(1, 0), AttributeRef(2, 0)}));
+    schema.Add(GlobalAttribute(
+        {AttributeRef(0, 1), AttributeRef(1, 1), AttributeRef(3, 0)}));
+    sources = {0, 1, 2, 3};
+  }
+
+  /// A profile that fails every attempt the same way.
+  static FaultProfile HardDown() {
+    FaultProfile p;
+    p.hard_down = true;
+    return p;
+  }
+
+  Universe universe;
+  MediatedSchema schema;
+  std::vector<uint32_t> sources;
+};
+
+// --------------------------------------------------------- circuit breaker
+
+TEST(CircuitBreakerTest, OpensAtThresholdNotBefore) {
+  CircuitBreaker breaker;  // window 16, min_samples 4, threshold 0.5
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(1);
+  breaker.RecordFailure(2);
+  // Three failures are below min_samples: still closed despite rate 1.0.
+  EXPECT_EQ(breaker.state(2), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(2));
+  EXPECT_DOUBLE_EQ(breaker.FailureRate(), 1.0);
+
+  breaker.RecordFailure(3);  // fourth sample crosses min_samples
+  EXPECT_EQ(breaker.state(3), BreakerState::kOpen);
+  EXPECT_EQ(breaker.transitions().opens, 1u);
+  EXPECT_FALSE(breaker.AllowRequest(100));
+  EXPECT_FALSE(breaker.AllowRequest(2002));  // cooldown is 2000 from t=3
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesThenCloses) {
+  CircuitBreaker breaker;
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(i);
+  ASSERT_EQ(breaker.state(3), BreakerState::kOpen);
+
+  // Past the cooldown the breaker reads half-open and admits probes.
+  EXPECT_EQ(breaker.state(2003), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest(2003));
+  EXPECT_EQ(breaker.transitions().half_opens, 1u);
+
+  breaker.RecordSuccess(2004);
+  EXPECT_EQ(breaker.state(2004), BreakerState::kHalfOpen);  // streak 1 of 2
+  breaker.RecordSuccess(2005);
+  EXPECT_EQ(breaker.state(2005), BreakerState::kClosed);
+  EXPECT_EQ(breaker.transitions().closes, 1u);
+  // Closing forgets the outage's window.
+  EXPECT_DOUBLE_EQ(breaker.FailureRate(), 0.0);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreaker breaker;
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(i);
+  ASSERT_TRUE(breaker.AllowRequest(2500));  // half-open probe
+  breaker.RecordFailure(2501);
+  EXPECT_EQ(breaker.state(2501), BreakerState::kOpen);
+  EXPECT_EQ(breaker.transitions().opens, 2u);
+  // The new cooldown starts at the failed probe, not the original open.
+  EXPECT_FALSE(breaker.AllowRequest(4000));
+  EXPECT_TRUE(breaker.AllowRequest(4502));
+}
+
+TEST(CircuitBreakerTest, SlidingWindowEvictsOldOutcomes) {
+  CircuitBreakerOptions options;
+  options.window = 8;
+  options.min_samples = 8;
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 8; ++i) breaker.RecordSuccess(i);
+  EXPECT_DOUBLE_EQ(breaker.FailureRate(), 0.0);
+  // Four failures overwrite four successes: rate is 4/8, window stays 8.
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(8 + i);
+  EXPECT_DOUBLE_EQ(breaker.FailureRate(), 0.5);
+}
+
+TEST(CircuitBreakerTest, SeededScheduleIsDeterministic) {
+  // Property test: the same outcome schedule drives two breakers through
+  // bit-identical trajectories, and the transition counts obey the state
+  // machine's invariants.
+  for (uint64_t seed : {7ull, 99ull, 12345ull}) {
+    Rng rng(seed);
+    std::vector<bool> failures;
+    for (int i = 0; i < 300; ++i) failures.push_back(rng.Bernoulli(0.45));
+
+    CircuitBreaker one, two;
+    for (size_t i = 0; i < failures.size(); ++i) {
+      const double now = static_cast<double>(i) * 50.0;
+      const bool admit_one = one.AllowRequest(now);
+      const bool admit_two = two.AllowRequest(now);
+      ASSERT_EQ(admit_one, admit_two) << "step " << i << " seed " << seed;
+      if (!admit_one) continue;
+      if (failures[i]) {
+        one.RecordFailure(now);
+        two.RecordFailure(now);
+      } else {
+        one.RecordSuccess(now);
+        two.RecordSuccess(now);
+      }
+      ASSERT_EQ(one.state(now), two.state(now)) << "step " << i;
+    }
+    EXPECT_EQ(one.transitions().opens, two.transitions().opens);
+    EXPECT_EQ(one.transitions().half_opens, two.transitions().half_opens);
+    EXPECT_EQ(one.transitions().closes, two.transitions().closes);
+    // Every close and every half-open requires a preceding open.
+    EXPECT_GE(one.transitions().opens, one.transitions().closes);
+    EXPECT_GE(one.transitions().half_opens, one.transitions().closes);
+    EXPECT_GE(one.transitions().opens + 1, one.transitions().half_opens);
+    EXPECT_GT(one.transitions().opens, 0u);  // 45% failures must trip it
+  }
+}
+
+TEST(BreakerBankTest, LazyCreationAndTotals) {
+  BreakerBank bank;
+  EXPECT_EQ(bank.Find(3), nullptr);
+  for (int i = 0; i < 4; ++i) bank.For(3).RecordFailure(i);
+  bank.For(7).RecordSuccess(0);
+  ASSERT_NE(bank.Find(3), nullptr);
+  EXPECT_EQ(bank.Find(3)->transitions().opens, 1u);
+  EXPECT_EQ(bank.TotalTransitions().opens, 1u);
+  EXPECT_EQ(bank.breakers().size(), 2u);
+}
+
+// ------------------------------------------------------------ retry policy
+
+TEST(RetryPolicyTest, BackoffStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 50.0;
+  policy.max_backoff_ms = 400.0;
+
+  Rng rng(21);
+  // The first draw (no previous delay) starts the sequence at the base.
+  double delay = NextBackoffMs(policy, 0.0, &rng);
+  EXPECT_DOUBLE_EQ(delay, 50.0);
+
+  for (int i = 0; i < 200; ++i) {
+    const double next = NextBackoffMs(policy, delay, &rng);
+    EXPECT_GE(next, policy.base_backoff_ms);
+    EXPECT_LE(next, policy.max_backoff_ms);
+    // Decorrelated jitter: never more than 3x the previous delay.
+    EXPECT_LE(next, std::max(policy.base_backoff_ms, 3.0 * delay) + 1e-9);
+    delay = next;
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  Rng a(5), b(5);
+  double prev_a = 0.0, prev_b = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    prev_a = NextBackoffMs(policy, prev_a, &a);
+    prev_b = NextBackoffMs(policy, prev_b, &b);
+    ASSERT_DOUBLE_EQ(prev_a, prev_b) << "draw " << i;
+  }
+}
+
+// ----------------------------------------------------------- fault injector
+
+TEST(FaultInjectorTest, FaultFreeSourcesTakeTheFastPath) {
+  FaultInjector injector(1);
+  FaultOutcome outcome = injector.NextScanOutcome(42);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome.latency_ms, 0.0);
+  // The fast path does not even advance the schedule.
+  EXPECT_EQ(injector.attempt_count(42), 0u);
+
+  injector.SetProfile(42, FaultProfile{});  // explicit fault-free profile
+  EXPECT_EQ(injector.ProfileFor(42), nullptr);
+  EXPECT_TRUE(injector.NextScanOutcome(42).ok());
+  EXPECT_EQ(injector.attempt_count(42), 0u);
+}
+
+TEST(FaultInjectorTest, RewindReplaysTheExactSchedule) {
+  FaultInjector injector(0xABCDEF);
+  FaultProfile flaky;
+  flaky.transient_failure_prob = 0.5;
+  flaky.extra_latency_ms = 10.0;
+  flaky.latency_jitter_ms = 25.0;
+  injector.SetProfile(9, flaky);
+
+  std::vector<FaultKind> kinds;
+  std::vector<double> latencies;
+  for (int i = 0; i < 64; ++i) {
+    FaultOutcome o = injector.NextScanOutcome(9);
+    kinds.push_back(o.kind);
+    latencies.push_back(o.latency_ms);
+  }
+  EXPECT_EQ(injector.attempt_count(9), 64u);
+  EXPECT_GT(std::count(kinds.begin(), kinds.end(), FaultKind::kTransient), 0);
+  EXPECT_GT(std::count(kinds.begin(), kinds.end(), FaultKind::kNone), 0);
+
+  injector.Rewind();
+  EXPECT_EQ(injector.attempt_count(9), 0u);
+  for (int i = 0; i < 64; ++i) {
+    FaultOutcome o = injector.NextScanOutcome(9);
+    ASSERT_EQ(o.kind, kinds[i]) << "attempt " << i;
+    ASSERT_DOUBLE_EQ(o.latency_ms, latencies[i]) << "attempt " << i;
+  }
+}
+
+TEST(FaultInjectorTest, SchedulesAreIndependentOfCallOrder) {
+  // Outcomes depend only on (seed, source, attempt index) — interleaving
+  // sources differently must not change either schedule.
+  FaultProfile flaky;
+  flaky.transient_failure_prob = 0.4;
+  flaky.latency_jitter_ms = 15.0;
+
+  FaultInjector interleaved(77), sequential(77);
+  for (FaultInjector* inj : {&interleaved, &sequential}) {
+    inj->SetProfile(1, flaky);
+    inj->SetProfile(2, flaky);
+  }
+  std::vector<FaultKind> a1, a2, b1, b2;
+  for (int i = 0; i < 32; ++i) {
+    a1.push_back(interleaved.NextScanOutcome(1).kind);
+    a2.push_back(interleaved.NextScanOutcome(2).kind);
+  }
+  for (int i = 0; i < 32; ++i) b2.push_back(sequential.NextScanOutcome(2).kind);
+  for (int i = 0; i < 32; ++i) b1.push_back(sequential.NextScanOutcome(1).kind);
+  EXPECT_EQ(a1, b1);
+  EXPECT_EQ(a2, b2);
+}
+
+TEST(FaultInjectorTest, HardDownDominatesAndNeverRetries) {
+  FaultInjector injector(3);
+  injector.SetProfile(5, ReliabilityFixture::HardDown());
+  for (int i = 0; i < 5; ++i) {
+    FaultOutcome o = injector.NextScanOutcome(5);
+    EXPECT_EQ(o.kind, FaultKind::kHardDown);
+    EXPECT_FALSE(o.retryable());
+    EXPECT_DOUBLE_EQ(o.latency_ms, 0.0);
+  }
+}
+
+TEST(FaultInjectorTest, SlowTailBeyondBudgetIsATimeout) {
+  FaultInjector injector(11);
+  FaultProfile slow;
+  slow.extra_latency_ms = 100.0;
+  slow.slow_tail_prob = 1.0;  // always in the tail: 100 * 10 = 1000 ms
+  slow.timeout_ms = 500.0;
+  injector.SetProfile(4, slow);
+
+  FaultOutcome o = injector.NextScanOutcome(4);
+  EXPECT_EQ(o.kind, FaultKind::kTimeout);
+  EXPECT_TRUE(o.retryable());
+  // The caller is charged the budget it waited, not the full tail latency.
+  EXPECT_DOUBLE_EQ(o.latency_ms, 500.0);
+}
+
+TEST(FaultInjectorTest, CorruptionOnlyOnSignatureFetches) {
+  FaultInjector injector(13);
+  FaultProfile stale;
+  stale.corrupt_signature_prob = 1.0;
+  injector.SetProfile(6, stale);
+
+  EXPECT_TRUE(injector.NextScanOutcome(6).ok());
+  FaultOutcome fetch = injector.NextSignatureOutcome(6);
+  EXPECT_EQ(fetch.kind, FaultKind::kCorruptSignature);
+  EXPECT_FALSE(fetch.retryable());
+  EXPECT_NE(fetch.corruption_seed, 0u);
+}
+
+// ------------------------------------------------------- sketch corruption
+
+TEST(PcsaCorruptionTest, DeterministicAndInflating) {
+  PcsaConfig config;
+  config.num_maps = 64;
+  PcsaSketch sketch(config);
+  for (uint64_t t = 0; t < 5000; ++t) sketch.Add(t);
+
+  PcsaSketch corrupt = sketch.CorruptedCopy(0xDEAD);
+  EXPECT_EQ(corrupt.bitmaps(), sketch.CorruptedCopy(0xDEAD).bitmaps());
+  EXPECT_NE(corrupt.bitmaps(), sketch.bitmaps());
+  // Extending runs of low ones can only raise the FM estimate.
+  EXPECT_GE(corrupt.Estimate(), sketch.Estimate());
+  EXPECT_GT(corrupt.Estimate(), sketch.Estimate() * 1.001);
+
+  // Same config: the corrupted copy still merges, and OR-merging the
+  // honest sketch back cannot undo the corruption.
+  PcsaSketch merged = corrupt;
+  ASSERT_TRUE(merged.MergeFrom(sketch).ok());
+  EXPECT_EQ(merged.bitmaps(), corrupt.bitmaps());
+}
+
+TEST(SignatureCacheTest, OverrideSketchInvalidatesTouchedMemos) {
+  ReliabilityFixture f;
+  PcsaConfig pcsa;
+  pcsa.num_maps = 64;
+  SignatureCache cache(f.universe, pcsa);
+
+  const double union01 = cache.EstimateUnion({0, 1});  // memoized, dirty
+  const double union23 = cache.EstimateUnion({2, 3});  // memoized, clean
+  ASSERT_EQ(cache.memo_stats().entries, 2u);
+
+  PcsaSketch corrupt = cache.SketchOf(0)->CorruptedCopy(0xBEEF);
+  cache.OverrideSketch(0, corrupt);
+  EXPECT_EQ(cache.memo_stats().invalidations, 1u);
+  EXPECT_TRUE(cache.IsCooperative(0));
+  EXPECT_EQ(cache.SketchOf(0)->bitmaps(), corrupt.bitmaps());
+
+  // The untouched memo survives; the dirty subset re-estimates inflated.
+  const size_t hits_before = cache.memo_stats().hits;
+  EXPECT_DOUBLE_EQ(cache.EstimateUnion({2, 3}), union23);
+  EXPECT_EQ(cache.memo_stats().hits, hits_before + 1);
+  EXPECT_GE(cache.EstimateUnion({0, 1}), union01);
+
+  // Overriding with nullopt tombstones the source entirely.
+  cache.OverrideSketch(0, std::nullopt);
+  EXPECT_FALSE(cache.IsCooperative(0));
+  EXPECT_EQ(cache.SketchOf(0), nullptr);
+  EXPECT_DOUBLE_EQ(cache.EstimateUnion({0, 1}), cache.EstimateUnion({1}));
+}
+
+// -------------------------------------------------------- reliable executor
+
+TEST(ReliableExecutorTest, HealthyPathMatchesMediatedExecutor) {
+  ReliabilityFixture f;
+  MediatedExecutor plain(f.universe, f.sources, f.schema);
+  ReliableExecutor resilient(f.universe, f.sources, f.schema);
+
+  Query full_scan;
+  Query filtered;
+  filtered.predicates = {{0, CompareOp::kLt, 3}};
+  for (const Query& query : {full_scan, filtered}) {
+    Result<ExecutionResult> expected = plain.Execute(query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    Result<ExecutionReport> got = resilient.Execute(query);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+    const ExecutionReport& report = got.ValueOrDie();
+    EXPECT_EQ(report.outcome, QueryOutcome::kAnswered);
+    EXPECT_DOUBLE_EQ(report.completeness_estimate, 1.0);
+    EXPECT_EQ(report.retries, 0u);
+
+    const ExecutionResult& a = expected.ValueOrDie();
+    const ExecutionResult& b = report.result;
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); ++i) {
+      ASSERT_EQ(a.records[i].tuple_id, b.records[i].tuple_id);
+      ASSERT_EQ(a.records[i].ga_values, b.records[i].ga_values);
+      ASSERT_EQ(a.records[i].provenance, b.records[i].provenance);
+    }
+    EXPECT_EQ(a.tuples_transferred, b.tuples_transferred);
+    EXPECT_EQ(a.duplicates_merged, b.duplicates_merged);
+    EXPECT_EQ(a.skipped_cannot_answer, b.skipped_cannot_answer);
+    EXPECT_DOUBLE_EQ(a.total_cost_ms, b.total_cost_ms);
+  }
+}
+
+TEST(ReliableExecutorTest, CannotAnswerIsSkippedNotFailed) {
+  ReliabilityFixture f;
+  ReliableExecutor executor(f.universe, f.sources, f.schema);
+  Query by_author;
+  by_author.predicates = {{1, CompareOp::kEq, 2}};
+  Result<ExecutionReport> got = executor.Execute(by_author);
+  ASSERT_TRUE(got.ok());
+  const ExecutionReport& report = got.ValueOrDie();
+
+  // c.com exposes no author: skipped, and the skip is not a failure.
+  EXPECT_EQ(report.result.skipped_cannot_answer,
+            (std::vector<uint32_t>{2}));
+  ASSERT_EQ(report.scans.size(), 4u);
+  EXPECT_EQ(report.scans[2].status, ScanStatus::kSkippedCannotAnswer);
+  EXPECT_EQ(report.scans[2].attempts, 0u);
+  EXPECT_EQ(report.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(report.sources_failed, 0u);
+  EXPECT_EQ(executor.stats().skipped_cannot_answer, 1u);
+}
+
+TEST(ReliableExecutorTest, SiblingsKeepADegradedQueryAlive) {
+  ReliabilityFixture f;
+  FaultInjector injector(17);
+  injector.SetProfile(0, ReliabilityFixture::HardDown());
+
+  ReliableExecutor healthy(f.universe, f.sources, f.schema);
+  ReliableExecutor degraded(f.universe, f.sources, f.schema);
+  degraded.set_fault_injector(&injector);
+
+  Result<ExecutionReport> healthy_run = healthy.Execute(Query{});
+  Result<ExecutionReport> degraded_run = degraded.Execute(Query{});
+  ASSERT_TRUE(healthy_run.ok());
+  ASSERT_TRUE(degraded_run.ok());
+  const ExecutionReport& report = degraded_run.ValueOrDie();
+
+  EXPECT_EQ(report.outcome, QueryOutcome::kDegraded);
+  EXPECT_EQ(report.sources_failed, 1u);
+  EXPECT_EQ(report.sources_succeeded, 3u);
+  EXPECT_EQ(report.scans[0].status, ScanStatus::kFailed);
+  EXPECT_EQ(report.scans[0].last_fault, FaultKind::kHardDown);
+  EXPECT_EQ(report.scans[0].attempts, 1u);  // hard-down is not retried
+
+  // Both of a.com's GAs survive through siblings: nothing is actually lost
+  // schema-wise, only tuples unique to a.com.
+  EXPECT_EQ(report.failover_rescues, 2u);
+  EXPECT_EQ(report.unrescued_gas, 0u);
+  EXPECT_GT(report.completeness_estimate, 0.0);
+  EXPECT_LT(report.completeness_estimate, 1.0);
+
+  // The degraded answer is a strict subset of the healthy answer.
+  std::set<uint64_t> healthy_ids;
+  for (const MediatedRecord& r : healthy_run.ValueOrDie().result.records) {
+    healthy_ids.insert(r.tuple_id);
+  }
+  const auto& degraded_records = report.result.records;
+  EXPECT_LT(degraded_records.size(), healthy_ids.size());
+  for (const MediatedRecord& r : degraded_records) {
+    ASSERT_TRUE(healthy_ids.count(r.tuple_id)) << r.tuple_id;
+  }
+  // Tuples covered only by surviving sources are all still there:
+  // b.com + c.com + d.com alone cover [0, 1000) and [2000, 6000).
+  EXPECT_EQ(degraded_records.size(), 5000u);
+}
+
+TEST(ReliableExecutorTest, EverySourceDownIsAFailedQuery) {
+  ReliabilityFixture f;
+  FaultInjector injector(19);
+  for (uint32_t sid : f.sources) {
+    injector.SetProfile(sid, ReliabilityFixture::HardDown());
+  }
+  ReliableExecutor executor(f.universe, f.sources, f.schema);
+  executor.set_fault_injector(&injector);
+
+  Result<ExecutionReport> got = executor.Execute(Query{});
+  ASSERT_TRUE(got.ok());
+  const ExecutionReport& report = got.ValueOrDie();
+  EXPECT_EQ(report.outcome, QueryOutcome::kFailed);
+  EXPECT_EQ(report.sources_succeeded, 0u);
+  EXPECT_DOUBLE_EQ(report.completeness_estimate, 0.0);
+  EXPECT_TRUE(report.result.records.empty());
+  EXPECT_EQ(report.failover_rescues, 0u);
+  EXPECT_GT(report.unrescued_gas, 0u);
+  EXPECT_EQ(executor.stats().failed, 1u);
+}
+
+TEST(ReliableExecutorTest, RetriesRecoverTransientFaults) {
+  ReliabilityFixture f;
+  FaultInjector injector(23);
+  FaultProfile flaky;
+  flaky.transient_failure_prob = 0.5;
+  for (uint32_t sid : f.sources) injector.SetProfile(sid, flaky);
+
+  ReliabilityOptions options;
+  options.retry.max_attempts = 8;
+  ReliableExecutor executor(f.universe, f.sources, f.schema, options);
+  executor.set_fault_injector(&injector);
+
+  Result<ExecutionReport> got = executor.Execute(Query{});
+  ASSERT_TRUE(got.ok());
+  const ExecutionReport& report = got.ValueOrDie();
+  // With 8 attempts at 50% failure, every source recovers (the fixed seed
+  // makes this exact, not probabilistic).
+  EXPECT_EQ(report.outcome, QueryOutcome::kAnswered);
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_EQ(executor.stats().retries, report.retries);
+  // Backoff waits show up in the simulated timeline.
+  EXPECT_GT(report.simulated_ms, 0.0);
+}
+
+TEST(ReliableExecutorTest, DeadlineBudgetCutsRetriesShort) {
+  ReliabilityFixture f;
+  FaultInjector injector(29);
+  FaultProfile broken;
+  broken.transient_failure_prob = 1.0;  // never succeeds, always retryable
+  broken.extra_latency_ms = 300.0;
+  for (uint32_t sid : f.sources) injector.SetProfile(sid, broken);
+
+  ReliabilityOptions options;
+  options.retry.max_attempts = 5;
+  options.retry.base_backoff_ms = 50.0;
+  options.retry.query_deadline_ms = 500.0;
+  options.use_breakers = false;
+  ReliableExecutor executor(f.universe, f.sources, f.schema, options);
+  executor.set_fault_injector(&injector);
+
+  Result<ExecutionReport> got = executor.Execute(Query{});
+  ASSERT_TRUE(got.ok());
+  const ExecutionReport& report = got.ValueOrDie();
+  EXPECT_TRUE(report.deadline_exhausted);
+  EXPECT_EQ(report.outcome, QueryOutcome::kFailed);
+  for (const SourceScanLog& log : report.scans) {
+    // 300 ms per attempt against a 500 ms budget: the 5-attempt policy is
+    // cut to at most 2 attempts, and no timeline exceeds the budget by
+    // more than the attempt that discovered it.
+    EXPECT_LE(log.attempts, 2u);
+    EXPECT_LE(log.simulated_ms, 300.0 + 500.0);
+  }
+  EXPECT_EQ(executor.stats().deadline_exhausted, 1u);
+}
+
+TEST(ReliableExecutorTest, BreakerShortCircuitsPersistentOffender) {
+  ReliabilityFixture f;
+  FaultInjector injector(31);
+  injector.SetProfile(0, ReliabilityFixture::HardDown());
+
+  ReliabilityOptions options;
+  options.retry.max_attempts = 1;
+  options.breaker.open_cooldown_ms = 1e12;  // stays open for the test
+  ReliableExecutor executor(f.universe, f.sources, f.schema, options);
+  executor.set_fault_injector(&injector);
+
+  // min_samples failures open the breaker; the next query short-circuits.
+  for (int q = 0; q < 4; ++q) {
+    Result<ExecutionReport> got = executor.Execute(Query{});
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.ValueOrDie().scans[0].status, ScanStatus::kFailed);
+  }
+  EXPECT_EQ(executor.stats().breaker_opens, 1u);
+
+  Result<ExecutionReport> blocked = executor.Execute(Query{});
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked.ValueOrDie().scans[0].status,
+            ScanStatus::kShortCircuited);
+  EXPECT_EQ(blocked.ValueOrDie().scans[0].attempts, 0u);
+  EXPECT_EQ(blocked.ValueOrDie().outcome, QueryOutcome::kDegraded);
+  EXPECT_EQ(executor.stats().breaker_short_circuits, 1u);
+
+  ASSERT_NE(executor.breakers().Find(0), nullptr);
+  EXPECT_EQ(executor.breakers().Find(0)->state(executor.clock_ms()),
+            BreakerState::kOpen);
+}
+
+TEST(ReliableExecutorTest, ReportsAreBitwiseDeterministic) {
+  ReliabilityFixture f;
+  FaultProfile flaky;
+  flaky.transient_failure_prob = 0.35;
+  flaky.extra_latency_ms = 5.0;
+  flaky.latency_jitter_ms = 40.0;
+
+  std::vector<std::string> first, second;
+  for (std::vector<std::string>* out : {&first, &second}) {
+    FaultInjector injector(0xFEEDF00D);
+    for (uint32_t sid : f.sources) injector.SetProfile(sid, flaky);
+    ReliableExecutor executor(f.universe, f.sources, f.schema);
+    executor.set_fault_injector(&injector);
+    for (int q = 0; q < 6; ++q) {
+      Result<ExecutionReport> got = executor.Execute(Query{});
+      ASSERT_TRUE(got.ok());
+      out->push_back(got.ValueOrDie().Summary());
+    }
+    out->push_back(executor.stats().Summary());
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(ReliableExecutorTest, PersistentFailureBecomesChurn) {
+  ReliabilityFixture f;
+  FaultInjector injector(37);
+  injector.SetProfile(0, ReliabilityFixture::HardDown());
+
+  ReliabilityOptions options;
+  options.retry.max_attempts = 1;
+  options.use_breakers = false;  // every query gathers fresh evidence
+  ReliableExecutor executor(f.universe, f.sources, f.schema, options);
+  executor.set_fault_injector(&injector);
+
+  // Below the threshold (3): nothing to report yet.
+  ASSERT_TRUE(executor.Execute(Query{}).ok());
+  ASSERT_TRUE(executor.Execute(Query{}).ok());
+  EXPECT_TRUE(executor.DrainPersistentFailureEvents().empty());
+
+  // Crossing it: a source that never answered is reported as removed.
+  ASSERT_TRUE(executor.Execute(Query{}).ok());
+  std::vector<ChurnEvent> events = executor.DrainPersistentFailureEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, ChurnEvent::Kind::kRemoveSource);
+  EXPECT_EQ(events[0].source_name, "a.com");
+
+  // Reported once: more failures do not re-report.
+  ASSERT_TRUE(executor.Execute(Query{}).ok());
+  EXPECT_TRUE(executor.DrainPersistentFailureEvents().empty());
+}
+
+TEST(ReliableExecutorTest, FormerlyHealthySourceGoesUncooperative) {
+  ReliabilityFixture f;
+  ReliabilityOptions options;
+  options.retry.max_attempts = 1;
+  options.use_breakers = false;
+  ReliableExecutor executor(f.universe, f.sources, f.schema, options);
+
+  // One healthy query first: a.com has answered before.
+  ASSERT_TRUE(executor.Execute(Query{}).ok());
+
+  FaultInjector injector(41);
+  injector.SetProfile(0, ReliabilityFixture::HardDown());
+  executor.set_fault_injector(&injector);
+  for (int q = 0; q < 3; ++q) ASSERT_TRUE(executor.Execute(Query{}).ok());
+
+  std::vector<ChurnEvent> events = executor.DrainPersistentFailureEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, ChurnEvent::Kind::kSetCooperative);
+  EXPECT_EQ(events[0].source_name, "a.com");
+  EXPECT_FALSE(events[0].cooperative);
+
+  // A success re-arms the persistence detector.
+  executor.set_fault_injector(nullptr);
+  ASSERT_TRUE(executor.Execute(Query{}).ok());
+  executor.set_fault_injector(&injector);
+  for (int q = 0; q < 3; ++q) ASSERT_TRUE(executor.Execute(Query{}).ok());
+  EXPECT_EQ(executor.DrainPersistentFailureEvents().size(), 1u);
+}
+
+// -------------------------------------------------- session health surface
+
+TEST(SessionReliabilityTest, RecordExecutionAggregatesHealth) {
+  ReliabilityFixture f;
+  MubeConfig config = MubeConfig::PaperDefaults();
+  config.max_sources = 3;
+  config.pcsa.num_maps = 64;
+  auto session = Session::Create(&f.universe, config).ValueOrDie();
+
+  ReliableExecutor healthy(f.universe, f.sources, f.schema);
+  Result<ExecutionReport> ok_run = healthy.Execute(Query{});
+  ASSERT_TRUE(ok_run.ok());
+  session->RecordExecution(ok_run.ValueOrDie());
+
+  FaultInjector injector(43);
+  injector.SetProfile(0, ReliabilityFixture::HardDown());
+  ReliableExecutor faulty(f.universe, f.sources, f.schema);
+  faulty.set_fault_injector(&injector);
+  Result<ExecutionReport> degraded_run = faulty.Execute(Query{});
+  ASSERT_TRUE(degraded_run.ok());
+  session->RecordExecution(degraded_run.ValueOrDie());
+
+  const ReliabilityStats& stats = session->reliability_stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.answered, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.failover_rescues, 2u);
+
+  const auto& health = session->source_health();
+  ASSERT_TRUE(health.count(0));
+  EXPECT_EQ(health.at(0).scans_ok, 1u);
+  EXPECT_EQ(health.at(0).scans_failed, 1u);
+  EXPECT_EQ(health.at(0).last_fault, FaultKind::kHardDown);
+  ASSERT_TRUE(health.count(1));
+  EXPECT_EQ(health.at(1).scans_ok, 2u);
+  EXPECT_EQ(health.at(1).scans_failed, 0u);
+  EXPECT_EQ(health.at(1).last_fault, FaultKind::kNone);
+}
+
+// ----------------------------------------------- churn-log persistence
+
+GeneratorConfig PersistenceGen() {
+  GeneratorConfig config;
+  config.seed = 47;
+  config.num_sources = 30;
+  config.min_cardinality = 50;
+  config.max_cardinality = 1'000;
+  config.tuple_pool_size = 8'000;
+  config.specialty_tuples_min = 10;
+  config.specialty_tuples_max = 40;
+  return config;
+}
+
+MubeConfig PersistenceConfig() {
+  MubeConfig config = MubeConfig::PaperDefaults();
+  config.max_sources = 5;
+  config.optimizer_options.max_evaluations = 400;
+  config.pcsa.num_maps = 64;
+  return config;
+}
+
+TEST(SessionPersistenceTest, ChurnLogRoundTripsThroughSaveState) {
+  GeneratedUniverse gen = GenerateUniverse(PersistenceGen()).ValueOrDie();
+  DeltaUniverse original(std::move(gen.universe));
+  auto session = Session::Create(&original, PersistenceConfig()).ValueOrDie();
+
+  const std::string victim = original.universe().source(1).name();
+  ASSERT_TRUE(session->ApplyChurn({ChurnEvent::RemoveSource(victim),
+                                   ChurnEvent::SetCooperative(
+                                       original.universe().source(4).name(),
+                                       false)})
+                  .ok());
+  ASSERT_TRUE(session->PinSource(uint32_t{7}).ok());
+  Result<std::string> saved = session->SaveState();
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  EXPECT_NE(saved.ValueOrDie().find("churn_log begin"), std::string::npos);
+
+  // A fresh session over a fresh copy of the same catalog replays the
+  // churn suffix before resolving the pins.
+  GeneratedUniverse regen = GenerateUniverse(PersistenceGen()).ValueOrDie();
+  DeltaUniverse restored(std::move(regen.universe));
+  auto fresh = Session::Create(&restored, PersistenceConfig()).ValueOrDie();
+  Status status = fresh->RestoreState(saved.ValueOrDie());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(fresh->churn_log().size(), 2u);
+  EXPECT_EQ(restored.universe().alive_count(),
+            original.universe().alive_count());
+  EXPECT_FALSE(restored.universe().alive(1));
+  EXPECT_FALSE(restored.universe().source(4).has_tuples());
+  EXPECT_EQ(fresh->pinned_sources(), (std::vector<uint32_t>{7}));
+
+  // Restoring is a fixed point: saving again reproduces the blob.
+  Result<std::string> resaved = fresh->SaveState();
+  ASSERT_TRUE(resaved.ok());
+  EXPECT_EQ(resaved.ValueOrDie(), saved.ValueOrDie());
+
+  // A session whose log already matches the blob restores as a no-op
+  // (empty suffix), not an error.
+  EXPECT_TRUE(fresh->RestoreState(saved.ValueOrDie()).ok());
+  EXPECT_EQ(fresh->churn_log().size(), 2u);
+}
+
+TEST(SessionPersistenceTest, StaticSessionRejectsChurnBlobs) {
+  GeneratedUniverse gen = GenerateUniverse(PersistenceGen()).ValueOrDie();
+  DeltaUniverse du(std::move(gen.universe));
+  auto churny = Session::Create(&du, PersistenceConfig()).ValueOrDie();
+  ASSERT_TRUE(churny
+                  ->ApplyChurn({ChurnEvent::RemoveSource(
+                      du.universe().source(0).name())})
+                  .ok());
+  Result<std::string> saved = churny->SaveState();
+  ASSERT_TRUE(saved.ok());
+
+  GeneratedUniverse regen = GenerateUniverse(PersistenceGen()).ValueOrDie();
+  auto fixed = Session::Create(&regen.universe, PersistenceConfig())
+                   .ValueOrDie();
+  Status status = fixed->RestoreState(saved.ValueOrDie());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionPersistenceTest, DivergedChurnHistoryIsRejected) {
+  GeneratedUniverse gen = GenerateUniverse(PersistenceGen()).ValueOrDie();
+  DeltaUniverse du(std::move(gen.universe));
+  auto session = Session::Create(&du, PersistenceConfig()).ValueOrDie();
+  ASSERT_TRUE(session
+                  ->ApplyChurn({ChurnEvent::RemoveSource(
+                      du.universe().source(2).name())})
+                  .ok());
+  Result<std::string> saved = session->SaveState();
+  ASSERT_TRUE(saved.ok());
+
+  // A session that already applied *different* churn cannot replay the
+  // blob: its history is not a prefix of the saved log.
+  GeneratedUniverse regen = GenerateUniverse(PersistenceGen()).ValueOrDie();
+  DeltaUniverse other(std::move(regen.universe));
+  auto diverged = Session::Create(&other, PersistenceConfig()).ValueOrDie();
+  ASSERT_TRUE(diverged
+                  ->ApplyChurn({ChurnEvent::RemoveSource(
+                      other.universe().source(3).name())})
+                  .ok());
+  EXPECT_FALSE(diverged->RestoreState(saved.ValueOrDie()).ok());
+
+  // So does one whose log is already longer than the blob's.
+  ASSERT_TRUE(session
+                  ->ApplyChurn({ChurnEvent::RemoveSource(
+                      du.universe().source(5).name())})
+                  .ok());
+  Status shorter = session->RestoreState(saved.ValueOrDie());
+  EXPECT_EQ(shorter.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace mube
