@@ -29,7 +29,8 @@ const GeneratedUniverse& SharedUniverse() {
     config.specialty_tuples_min = 10;
     config.specialty_tuples_max = 100;
     auto result = GenerateUniverse(config);
-    return new GeneratedUniverse(std::move(result).ValueOrDie());
+    return new GeneratedUniverse(  // NOLINT(naked-new): leaky singleton
+        std::move(result).ValueOrDie());
   }();
   return *kGenerated;
 }

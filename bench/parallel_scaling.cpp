@@ -1,0 +1,139 @@
+// Parallel optimizer scaling: wall-clock of a fixed-seed tabu/sls/anneal
+// run at threads=1 vs threads=8 over the same instance, with a hard
+// equality check that both runs produce bit-identical solutions and
+// incumbent trajectories — determinism is asserted unconditionally (exit 1
+// on any divergence), the ≥2.5× speedup bar only where the hardware can
+// physically deliver it (≥8 logical cores; on smaller machines the timing
+// rows are informational).
+//
+//   MUBE_BENCH_QUICK=1   shrink the instance for CI smoke runs
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "opt/optimizer.h"
+#include "qef/data_qefs.h"
+#include "qef/match_qef.h"
+#include "qef/qef.h"
+
+namespace mube::bench {
+namespace {
+
+struct Run {
+  SolutionEval solution;
+  SearchTrace trace;
+  double seconds = 0.0;
+};
+
+Run RunOnce(const Mube& engine, const std::string& solver, unsigned threads,
+            size_t budget) {
+  // Fresh per-run QEF state (match memo included) so the second run cannot
+  // ride the first run's warm cache and fake a speedup.
+  MatchOptions match_options;
+  match_options.theta = engine.config().theta;
+  match_options.beta = engine.config().beta;
+  QefSet qefs;
+  MUBE_CHECK(qefs.Add(std::make_unique<MatchQualityQef>(
+                          engine.matcher(), match_options,
+                          std::vector<uint32_t>{}, MediatedSchema()),
+                      0.6)
+                 .ok());
+  MUBE_CHECK(qefs.Add(std::make_unique<CardQef>(engine.universe()), 0.4).ok());
+
+  Problem problem;
+  problem.universe = &engine.universe();
+  problem.qefs = &qefs;
+  problem.match_qef =
+      static_cast<const MatchQualityQef*>(&qefs.qef(0));
+  problem.max_sources = engine.config().max_sources;
+
+  Run run;
+  OptimizerOptions options;
+  options.seed = 17;
+  options.max_evaluations = budget;
+  options.patience = 0;
+  options.threads = threads;
+  options.trace = &run.trace;
+  auto optimizer = MakeOptimizer(solver, options);
+  MUBE_CHECK(optimizer.ok());
+  WallTimer timer;
+  auto result = optimizer.ValueOrDie()->Run(problem);
+  run.seconds = timer.ElapsedSeconds();
+  MUBE_CHECK(result.ok());
+  run.solution = result.MoveValueUnsafe();
+  return run;
+}
+
+bool Identical(const Run& a, const Run& b) {
+  return a.solution.sources == b.solution.sources &&
+         a.solution.overall == b.solution.overall &&
+         a.solution.qef_values == b.solution.qef_values &&
+         a.trace.evaluations == b.trace.evaluations &&
+         a.trace.incumbent_q == b.trace.incumbent_q;
+}
+
+int Main() {
+  const size_t num_sources = QuickMode() ? 80 : 240;
+  const size_t budget = QuickMode() ? 1'500 : 12'000;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool can_speedup = cores >= 8;
+
+  auto generated = GenerateUniverse(PaperWorkload(num_sources));
+  MUBE_CHECK(generated.ok());
+  const GeneratedUniverse& g = generated.ValueOrDie();
+  MubeConfig config = BenchConfig(num_sources, 12);
+  auto engine = Mube::Create(&g.universe, config);
+  MUBE_CHECK(engine.ok());
+
+  std::printf("# parallel optimizer scaling — %zu sources, budget %zu, "
+              "%u logical cores\n",
+              num_sources, budget, cores);
+  std::printf("# determinism is a hard failure; the >=2.5x bar is enforced "
+              "only with >=8 cores\n");
+  std::printf("%-8s %12s %12s %9s %13s\n", "solver", "serial_s", "parallel_s",
+              "speedup", "bit_identical");
+
+  bool determinism_ok = true;
+  bool speedup_ok = true;
+  for (const char* solver : {"tabu", "sls", "anneal"}) {
+    const Run serial = RunOnce(*engine.ValueOrDie(), solver, 1, budget);
+    const Run parallel = RunOnce(*engine.ValueOrDie(), solver, 8, budget);
+    const bool identical = Identical(serial, parallel);
+    determinism_ok = determinism_ok && identical;
+    const double speedup =
+        parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
+    // Tabu evaluates whole neighborhoods per move and parallelizes best;
+    // first-improvement solvers (sls, anneal) speculate shallower batches,
+    // so the headline bar is judged on tabu.
+    if (can_speedup && std::string(solver) == "tabu" && speedup < 2.5) {
+      speedup_ok = false;
+    }
+    std::printf("%-8s %12.3f %12.3f %8.2fx %13s\n", solver, serial.seconds,
+                parallel.seconds, speedup, identical ? "yes" : "NO");
+  }
+
+  if (!determinism_ok) {
+    std::fprintf(stderr, "FAIL: thread count changed a fixed-seed run\n");
+    return 1;
+  }
+  if (!speedup_ok) {
+    std::fprintf(stderr, "FAIL: tabu speedup below 2.5x with %u cores\n",
+                 cores);
+    return 1;
+  }
+  if (!can_speedup) {
+    std::printf("# <8 cores: speedup rows informational, determinism "
+                "verified\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mube::bench
+
+int main() { return mube::bench::Main(); }

@@ -39,7 +39,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Cheap to pass by value: the OK state is a null pointer; error state is one
 /// heap allocation. Copyable and movable.
-class Status {
+///
+/// Marked [[nodiscard]]: a Status dropped on the floor is a silently
+/// swallowed error path. Callers that genuinely cannot act on the error must
+/// say so explicitly (MUBE_CHECK(st.ok()) or a logged branch), never by
+/// ignoring the return value.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -128,7 +133,7 @@ class Status {
 ///   Use(u.ValueOrDie());
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so `return value;` works from a Result-returning function.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,94 @@
+#ifndef MUBE_COMMON_THREAD_ANNOTATIONS_H_
+#define MUBE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Clang thread-safety analysis attributes (-Wthread-safety), compiled to
+/// nothing on other toolchains. The annotations turn the repo's locking
+/// discipline into compiler-checked contracts: a member declared
+/// `GUARDED_BY(mu_)` cannot be read or written without holding `mu_`, a
+/// function declared `REQUIRES(mu_)` cannot be called without it, and CI
+/// builds the tree with `-Werror=thread-safety` so violations fail the
+/// build rather than the nightly stress test.
+///
+/// Use these macros only with the annotated wrappers in
+/// common/threading.h (`Mutex`, `MutexLock`, `CondVar`); raw std::mutex is
+/// invisible to the analysis and is rejected by tools/lint/mube_lint.py.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MUBE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define MUBE_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a type as a lockable capability ("mutex", "role", ...).
+#define CAPABILITY(x) MUBE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability on construction and
+/// releases it on destruction.
+#define SCOPED_CAPABILITY MUBE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) MUBE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Declares that the *pointee* of a pointer member is protected.
+#define PT_GUARDED_BY(x) MUBE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering edges: this capability must be acquired before/after the
+/// listed ones.
+#define ACQUIRED_BEFORE(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding (exclusively / shared) the
+/// listed capabilities; it does not acquire or release them.
+#define REQUIRES(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds.
+#define RELEASE(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `true`.
+#define TRY_ACQUIRE(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...)             \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(       \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function may not be called while holding the listed capabilities
+/// (deadlock prevention: it will acquire them itself).
+#define EXCLUDES(...) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Use only inside the
+/// threading wrappers themselves.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MUBE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // MUBE_COMMON_THREAD_ANNOTATIONS_H_

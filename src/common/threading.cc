@@ -1,0 +1,113 @@
+#include "common/threading.h"
+
+#include <algorithm>
+
+namespace mube {
+
+unsigned ResolveThreadCount(unsigned requested) {
+  if (requested == 0) {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::max(1u, requested);
+}
+
+/// One ParallelFor call: the shared function plus a completion latch. Lives
+/// on the caller's stack for the duration of the call, so tasks may hold
+/// raw pointers to it.
+struct ThreadPool::Batch {
+  const std::function<void(size_t)>* fn = nullptr;
+  Mutex mu;
+  CondVar done;
+  size_t remaining GUARDED_BY(mu) = 0;
+};
+
+void ThreadPool::RunTask(Task task) {
+  (*task.batch->fn)(task.index);
+  MutexLock lock(&task.batch->mu);
+  if (--task.batch->remaining == 0) task.batch->done.SignalAll();
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : thread_count_(ResolveThreadCount(threads)) {
+  workers_.reserve(thread_count_ - 1);
+  for (unsigned i = 0; i + 1 < thread_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(&mu_);
+    shutting_down_ = true;
+  }
+  work_available_.SignalAll();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutting_down_) work_available_.Wait(&mu_);
+      if (queue_.empty()) return;  // shutting down, nothing left
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    RunTask(task);
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    MutexLock lock(&mu_);
+    if (queue_.empty()) return false;
+    task = queue_.front();
+    queue_.pop_front();
+  }
+  RunTask(task);
+  return true;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Serial fallback: no queue, no locks, no worker handoff — the exact
+  // unthreaded code path, so threads=1 runs are trivially identical to the
+  // pre-pool behaviour.
+  if (thread_count_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  {
+    MutexLock lock(&batch.mu);
+    batch.remaining = n;
+  }
+  {
+    MutexLock lock(&mu_);
+    for (size_t i = 0; i < n; ++i) queue_.push_back(Task{&batch, i});
+  }
+  work_available_.SignalAll();
+
+  // The caller is a pool member: it drains tasks (its own batch's or, when
+  // nested, anyone's) until its batch completes, then waits out the tasks
+  // still running on other threads. Waiting only ever happens when every
+  // remaining task of the batch is *running* elsewhere, so progress is
+  // guaranteed and nested calls cannot deadlock.
+  for (;;) {
+    {
+      MutexLock lock(&batch.mu);
+      if (batch.remaining == 0) return;
+    }
+    if (!RunOneTask()) {
+      MutexLock lock(&batch.mu);
+      while (batch.remaining > 0) batch.done.Wait(&batch.mu);
+      return;
+    }
+  }
+}
+
+}  // namespace mube

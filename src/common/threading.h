@@ -1,0 +1,143 @@
+#ifndef MUBE_COMMON_THREADING_H_
+#define MUBE_COMMON_THREADING_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+/// \file threading.h
+/// The repo's only concurrency primitives: an annotated `Mutex`/`MutexLock`/
+/// `CondVar` trio that Clang's thread-safety analysis can see through, and a
+/// small fixed-size `ThreadPool` used by the parallel QEF/neighborhood
+/// evaluation hot path and the similarity-matrix build.
+///
+/// Raw `std::mutex` / `std::lock_guard` / `std::condition_variable` are
+/// banned outside this header by tools/lint/mube_lint.py — the standard
+/// types carry no capability annotations, so code using them silently opts
+/// out of the `-Werror=thread-safety` gate.
+
+namespace mube {
+
+class CondVar;
+
+/// \brief Annotated exclusive mutex. Prefer `MutexLock` over manual
+/// Lock/Unlock pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock of a `Mutex` for one scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable over the annotated `Mutex`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, blocks until notified, and re-acquires.
+  /// Callers must re-check their predicate (spurious wakeups happen).
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's Mutex
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// \brief Resolves a user-facing thread-count knob: 0 means "hardware
+/// concurrency", anything else is taken literally (minimum 1).
+unsigned ResolveThreadCount(unsigned requested);
+
+/// \brief Fixed-size work-sharing thread pool.
+///
+/// The unit of work is an index batch: `ParallelFor(n, fn)` runs
+/// `fn(0) ... fn(n-1)` across the pool and the *calling thread*, returning
+/// once all n calls finished. Because results are addressed by index, any
+/// execution schedule produces byte-identical output for pure `fn` — this
+/// is what the optimizer's deterministic reduction relies on.
+///
+/// Nesting is safe: a task that itself calls ParallelFor helps drain the
+/// shared queue while waiting for its sub-batch instead of blocking a
+/// worker, so the pool cannot deadlock on itself. A pool of size 1 (or a
+/// batch of size 1) degenerates to plain serial calls on the caller with no
+/// queueing or synchronization — the `threads=1` serial fallback is
+/// literally the unthreaded code path.
+class ThreadPool {
+ public:
+  /// \param threads  total parallelism including the calling thread
+  ///                 (0 = hardware concurrency). A pool of `t` spawns
+  ///                 `t - 1` workers.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + caller).
+  unsigned thread_count() const { return thread_count_; }
+
+  /// Runs `fn(i)` for i in [0, n). Blocks until every call returned.
+  /// `fn` must be safe to invoke concurrently from multiple threads.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      EXCLUDES(mu_);
+
+ private:
+  /// One enqueued index of one batch.
+  struct Batch;
+  struct Task {
+    Batch* batch;
+    size_t index;
+  };
+
+  void WorkerLoop() EXCLUDES(mu_);
+  /// Pops and runs one task if available. Returns false when the queue was
+  /// empty. Never blocks.
+  bool RunOneTask() EXCLUDES(mu_);
+  /// Runs one task and retires it against its batch's completion latch.
+  static void RunTask(Task task);
+
+  const unsigned thread_count_;
+  Mutex mu_;
+  CondVar work_available_;
+  std::deque<Task> queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_COMMON_THREADING_H_

@@ -8,6 +8,7 @@
 #include "dynamic/churn.h"
 #include "qef/characteristic_qef.h"
 #include "qef/data_qefs.h"
+#include "qef/health_qef.h"
 #include "qef/match_qef.h"
 
 namespace mube {
@@ -93,6 +94,16 @@ Result<MubeResult> Mube::Run(const RunSpec& spec) const {
       *matcher_, match_options, constraints, spec.ga_constraints);
   const MatchQualityQef* match_qef_ptr = match_qef.get();
 
+  // Reliability feedback: when the caller supplies observed health scores,
+  // the health QEF joins the quality function and everything else yields a
+  // proportional share of the weight mass.
+  const bool use_health =
+      !spec.source_health.empty() && spec.health_weight > 0.0;
+  if (use_health && spec.health_weight >= 1.0) {
+    return Status::InvalidArgument("RunSpec: health_weight must be in [0,1)");
+  }
+  const double weight_scale = use_health ? 1.0 - spec.health_weight : 1.0;
+
   QefSet qefs;
   for (size_t i = 0; i < config_.qefs.size(); ++i) {
     const QefSpec& qspec = config_.qefs[i];
@@ -126,7 +137,12 @@ Result<MubeResult> Mube::Run(const RunSpec& spec) const {
         break;
       }
     }
-    MUBE_RETURN_IF_ERROR(qefs.Add(std::move(qef), weights[i]));
+    MUBE_RETURN_IF_ERROR(qefs.Add(std::move(qef), weights[i] * weight_scale));
+  }
+  if (use_health) {
+    MUBE_RETURN_IF_ERROR(
+        qefs.Add(std::make_unique<SourceHealthQef>(spec.source_health),
+                 spec.health_weight));
   }
   MUBE_RETURN_IF_ERROR(qefs.ValidateWeights());
 
@@ -149,6 +165,7 @@ Result<MubeResult> Mube::Run(const RunSpec& spec) const {
   for (const QefSpec& qspec : config_.qefs) {
     result.qef_names.push_back(qspec.DisplayName());
   }
+  if (use_health) result.qef_names.push_back("health");
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MUBE_CORE_MUBE_H_
 #define MUBE_CORE_MUBE_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -49,6 +50,17 @@ struct RunSpec {
   /// members are evicted and the set refilled to the target size. Honored
   /// by tabu and sls; other solvers ignore it.
   std::optional<std::vector<uint32_t>> initial_solution;
+  /// Observed per-source health in [0, 1] fed back from the reliability
+  /// layer (1 = every scan succeeded, 0 = breaker permanently open; sources
+  /// never executed against are omitted and count as healthy). When
+  /// non-empty, an extra "health" QEF (SourceHealthQef) is appended with
+  /// weight `health_weight` and the configured QEF weights are scaled by
+  /// (1 − health_weight), so Q still sums weights to 1 and open-breaker
+  /// sources are penalized in selection instead of merely reported.
+  std::map<uint32_t, double> source_health;
+  /// Weight of the appended health QEF; must be in [0, 1). Ignored when
+  /// `source_health` is empty.
+  double health_weight = 0.1;
 };
 
 /// \brief One µBE answer.

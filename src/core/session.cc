@@ -148,6 +148,26 @@ Status Session::SetOptimizer(const std::string& name) {
   return Status::OK();
 }
 
+Status Session::SetHealthBias(double weight) {
+  if (weight < 0.0 || weight >= 1.0) {
+    return Status::InvalidArgument("health bias must be in [0,1)");
+  }
+  health_bias_ = weight;
+  return Status::OK();
+}
+
+std::map<uint32_t, double> Session::HealthScores() const {
+  std::map<uint32_t, double> scores;
+  for (const auto& [sid, health] : source_health_) {
+    const size_t total =
+        health.scans_ok + health.scans_failed + health.short_circuits;
+    if (total == 0) continue;
+    scores[sid] = static_cast<double>(health.scans_ok) /
+                  static_cast<double>(total);
+  }
+  return scores;
+}
+
 RunSpec Session::BuildRunSpec() const {
   RunSpec spec;
   spec.source_constraints = pinned_sources_;
@@ -156,6 +176,10 @@ RunSpec Session::BuildRunSpec() const {
   if (theta_ >= 0.0) spec.theta = theta_;
   if (max_sources_ > 0) spec.max_sources = max_sources_;
   if (!optimizer_.empty()) spec.optimizer = optimizer_;
+  if (health_bias_ > 0.0) {
+    spec.source_health = HealthScores();
+    spec.health_weight = health_bias_;
+  }
   // Vary the seed across iterations so re-running the same problem can
   // escape an unlucky search trajectory, while staying reproducible.
   spec.seed = seed_ + history_.size();
@@ -307,6 +331,11 @@ Result<std::string> Session::SaveState() const {
   }
   if (max_sources_ > 0) out << "max_sources " << max_sources_ << "\n";
   if (!optimizer_.empty()) out << "optimizer " << optimizer_ << "\n";
+  if (health_bias_ > 0.0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "health_bias %.17g\n", health_bias_);
+    out << buf;
+  }
   out << "seed " << seed_ << "\n";
   if (!churn_log_.empty()) {
     // The constraints above name sources as they exist *after* this churn;
@@ -396,6 +425,7 @@ Status Session::RestoreState(const std::string& blob) {
   double theta = -1.0;
   size_t max_sources = 0;
   std::string optimizer;
+  double health_bias = 0.0;
   uint64_t seed = seed_;
 
   for (const auto& [line_no, raw] : directives) {
@@ -439,6 +469,15 @@ Status Session::RestoreState(const std::string& blob) {
       OptimizerOptions probe;
       auto made = MakeOptimizer(optimizer, probe);
       if (!made.ok()) return fail("unknown optimizer '" + optimizer + "'");
+    } else if (StartsWith(line, "health_bias ")) {
+      try {
+        health_bias = std::stod(std::string(line.substr(12)));
+      } catch (const std::exception&) {
+        return fail("bad health_bias");
+      }
+      if (health_bias < 0.0 || health_bias >= 1.0) {
+        return fail("health_bias out of [0,1)");
+      }
     } else if (StartsWith(line, "seed ")) {
       seed = std::strtoull(std::string(line.substr(5)).c_str(), nullptr, 10);
     } else {
@@ -458,6 +497,7 @@ Status Session::RestoreState(const std::string& blob) {
   theta_ = theta;
   max_sources_ = max_sources;
   optimizer_ = std::move(optimizer);
+  health_bias_ = health_bias;
   seed_ = seed;
   return Status::OK();
 }

@@ -67,6 +67,12 @@ class Session {
   Status SetMaxSources(size_t max_sources);
   void SetSeed(uint64_t seed) { seed_ = seed; }
   Status SetOptimizer(const std::string& name);
+  /// Weight of the observed-health QEF appended to the quality function
+  /// when recorded executions exist (see SourceHealthQef). 0 (the default)
+  /// keeps reliability feedback out of selection — health is then only
+  /// reported, never optimized for. Must be in [0, 1).
+  Status SetHealthBias(double weight);
+  double health_bias() const { return health_bias_; }
   /// @}
 
   /// Runs one µBE iteration with the current constraint state and appends
@@ -129,6 +135,12 @@ class Session {
   const std::map<uint32_t, SourceHealth>& source_health() const {
     return source_health_;
   }
+  /// The per-source health scores in [0, 1] the next Iterate() will feed
+  /// the optimizer when health_bias() > 0: successful scans over total
+  /// scans, with short-circuits counted as failures (an open breaker is
+  /// exactly the signal to select around). Sources never executed against
+  /// are absent (treated as healthy).
+  std::map<uint32_t, double> HealthScores() const;
   /// @}
 
   /// All iteration results, oldest first.
@@ -187,7 +199,8 @@ class Session {
   double theta_ = -1.0;          // <0 = config default
   size_t max_sources_ = 0;       // 0 = config default
   uint64_t seed_ = 1;
-  std::string optimizer_;  // empty = config default
+  std::string optimizer_;      // empty = config default
+  double health_bias_ = 0.0;   // 0 = reliability feedback off
   std::vector<MubeResult> history_;
   ReliabilityStats reliability_stats_;
   std::map<uint32_t, SourceHealth> source_health_;

@@ -1,6 +1,9 @@
 #include "opt/local_search.h"
 
+#include <optional>
+
 #include "common/random.h"
+#include "common/threading.h"
 #include "opt/search_util.h"
 
 namespace mube {
@@ -9,45 +12,89 @@ Result<SolutionEval> StochasticLocalSearch::Run(const Problem& problem) {
   MUBE_RETURN_IF_ERROR(problem.Validate());
   Rng rng(options_.common.seed);
 
+  Problem work = problem;
+  std::optional<ThreadPool> pool;
+  if (work.pool == nullptr && ResolveThreadCount(options_.common.threads) > 1) {
+    pool.emplace(options_.common.threads);
+    work.pool = &*pool;
+  }
+  SearchTrace* trace = options_.common.trace;
+  if (trace != nullptr) *trace = SearchTrace{};
+
   // Warm start from the supplied hint when present (restarts stay random —
   // re-seeding a restart from the same hint would just revisit the basin
   // the search is trying to leave).
   MUBE_ASSIGN_OR_RETURN(
       std::vector<uint32_t> start,
-      WarmStartSubset(problem, options_.common.initial_solution, &rng));
-  SolutionEval current = EvaluateSolution(problem, start);
+      WarmStartSubset(work, options_.common.initial_solution, &rng));
+  SolutionEval current = EvaluateSolution(work, start);
   SolutionEval best = current;
+  if (trace != nullptr && best.feasible) {
+    trace->incumbent_q.push_back(best.overall);
+  }
 
+  const size_t max_evaluations = options_.common.max_evaluations;
+  const size_t speculation = std::max<size_t>(1, options_.speculation);
+  size_t evaluations = 1;
   size_t stalled = 0;
   size_t since_improvement = 0;
-  for (size_t evaluations = 1;
-       evaluations < options_.common.max_evaluations; ++evaluations) {
-    SwapMove move{};
-    if (!SampleSwap(problem, current.sources, &rng, &move)) break;
-    SolutionEval neighbor =
-        EvaluateSolution(problem, ApplySwap(current.sources, move));
+  bool done = false;
 
-    if (neighbor.overall > current.overall) {
-      current = std::move(neighbor);
-      stalled = 0;
-    } else if (++stalled >= options_.stall_limit) {
-      // Restart: hill climbing is stuck on a local maximum.
-      auto restart = RandomFeasibleSubset(problem, &rng);
-      if (!restart.ok()) break;
-      current = EvaluateSolution(problem, restart.MoveValueUnsafe());
-      ++evaluations;
-      stalled = 0;
+  // First-improvement hill climbing over speculative proposal batches: all
+  // proposals of a batch are sampled from the same `current` (exactly what
+  // the serial one-at-a-time loop does between accepted moves), so scoring
+  // them concurrently and scanning in sampling order reproduces the serial
+  // trajectory bit-for-bit. A batch is abandoned the moment `current`
+  // changes (accept or restart) — its remaining proposals are stale.
+  while (!done && evaluations < max_evaluations) {
+    const size_t batch_n =
+        std::min(speculation, max_evaluations - evaluations);
+    std::vector<SwapMove> moves =
+        SampleSwapBatch(work, current.sources, batch_n, &rng);
+    if (moves.empty()) break;  // no swap exists at all
+    std::vector<std::vector<uint32_t>> candidates;
+    candidates.reserve(moves.size());
+    for (const SwapMove& move : moves) {
+      candidates.push_back(ApplySwap(current.sources, move));
     }
+    BatchEvaluator batch(work, std::move(candidates));
 
-    if (current.feasible && current.overall > best.overall) {
-      best = current;
-      since_improvement = 0;
-    } else if (options_.common.patience > 0 &&
-               ++since_improvement > options_.common.patience) {
-      break;
+    for (size_t k = 0; k < moves.size() && !done; ++k) {
+      if (evaluations >= max_evaluations) break;
+      const SolutionEval& neighbor = batch.Get(k);
+      bool moved = false;
+
+      if (neighbor.overall > current.overall) {
+        current = batch.Take(k);
+        stalled = 0;
+        moved = true;
+      } else if (++stalled >= options_.stall_limit) {
+        // Restart: hill climbing is stuck on a local maximum.
+        auto restart = RandomFeasibleSubset(work, &rng);
+        if (!restart.ok()) {
+          done = true;
+        } else {
+          current = EvaluateSolution(work, restart.MoveValueUnsafe());
+          ++evaluations;
+          stalled = 0;
+          moved = true;
+        }
+      }
+
+      if (current.feasible && current.overall > best.overall) {
+        best = current;
+        since_improvement = 0;
+        if (trace != nullptr) trace->incumbent_q.push_back(best.overall);
+      } else if (options_.common.patience > 0 &&
+                 ++since_improvement > options_.common.patience) {
+        done = true;
+      }
+      ++evaluations;
+      if (moved) break;  // remaining proposals were sampled from stale state
     }
   }
 
+  if (trace != nullptr) trace->evaluations = evaluations;
   if (!best.feasible) {
     return Status::Infeasible(
         "stochastic local search found no feasible solution");

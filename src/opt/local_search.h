@@ -16,6 +16,12 @@ struct LocalSearchOptions {
   OptimizerOptions common;
   /// Consecutive non-improving proposals before a restart.
   size_t stall_limit = 160;
+  /// Proposals sampled (and, at threads>1, evaluated speculatively in
+  /// parallel) per batch. The scan still accepts the *first* improving
+  /// proposal in sampling order, so this knob changes wall-clock shape
+  /// only; the thread count never changes the trajectory. Changing the
+  /// value itself does (it moves the RNG stream).
+  size_t speculation = 8;
 };
 
 class StochasticLocalSearch : public Optimizer {

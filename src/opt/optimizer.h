@@ -18,6 +18,19 @@
 
 namespace mube {
 
+/// \brief Optional record of one search run: how the incumbent improved
+/// and how much budget was spent. Written by the trajectory solvers (tabu,
+/// sls, anneal) when OptimizerOptions::trace is set; used by the
+/// determinism tests to check that fixed-seed runs follow bit-identical
+/// paths at any thread count, not merely that they land on the same answer.
+struct SearchTrace {
+  /// Q of the incumbent, appended every time it improves (the first entry
+  /// is the starting solution's Q when feasible).
+  std::vector<double> incumbent_q;
+  /// Logical evaluations consumed (the budget meter's final reading).
+  size_t evaluations = 0;
+};
+
 /// \brief Common knobs; algorithm-specific parameters live in each
 /// implementation's own options struct.
 struct OptimizerOptions {
@@ -39,6 +52,18 @@ struct OptimizerOptions {
   /// solvers (pso) and the oracle ignore it. Used by the dynamic-universe
   /// re-optimizer to resume from the pre-churn solution.
   std::vector<uint32_t> initial_solution;
+  /// Worker threads for neighborhood/QEF evaluation in the trajectory
+  /// solvers (tabu, sls, anneal): 1 = strictly serial (the default and the
+  /// reference semantics), 0 = hardware concurrency, n = exactly n. The
+  /// thread count NEVER changes the result: candidate moves are sampled
+  /// up-front on the coordinating thread and reduced in a fixed scan order,
+  /// so a fixed-seed run is bit-identical at threads=1 and threads=64 (see
+  /// search_util.h). Budget accounting is likewise thread-independent — a
+  /// speculative evaluation the reduction never scanned is not charged.
+  unsigned threads = 1;
+  /// When non-null, the solver appends its incumbent-Q trajectory and final
+  /// evaluation count here (cleared first). Not owned.
+  SearchTrace* trace = nullptr;
 };
 
 /// \brief Interface of all solvers.

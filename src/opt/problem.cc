@@ -90,7 +90,7 @@ SolutionEval EvaluateSolution(const Problem& problem,
 
   eval.feasible = true;
   eval.schema = match.schema;
-  eval.qef_values = problem.qefs->EvaluateAll(eval.sources);
+  eval.qef_values = problem.qefs->EvaluateAll(eval.sources, problem.pool);
   eval.overall = 0.0;
   for (size_t i = 0; i < eval.qef_values.size(); ++i) {
     eval.overall += problem.qefs->weight(i) * eval.qef_values[i];

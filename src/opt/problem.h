@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/threading.h"
 #include "qef/match_qef.h"
 #include "qef/qef.h"
 #include "schema/mediated_schema.h"
@@ -42,6 +43,11 @@ struct Problem {
   std::vector<uint32_t> effective_constraints;
   /// m — the number of sources to select.
   size_t max_sources = 0;
+  /// Optional worker pool for parallel evaluation, owned by the caller
+  /// (typically the optimizer's Run). Null means strictly serial. The QEFs
+  /// this problem references must be thread-compatible when set (all
+  /// in-tree QEFs are — see qef.h).
+  ThreadPool* pool = nullptr;
 
   /// Sanity-checks the instance: pointers set, weights valid, constraints
   /// within range and not exceeding m, match QEF consistent.

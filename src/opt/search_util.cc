@@ -89,6 +89,56 @@ bool SampleSwap(const Problem& problem,
   return true;
 }
 
+std::vector<SwapMove> SampleSwapBatch(const Problem& problem,
+                                      const std::vector<uint32_t>& solution,
+                                      size_t count, Rng* rng) {
+  std::vector<SwapMove> moves;
+  moves.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    SwapMove move{};
+    if (!SampleSwap(problem, solution, rng, &move)) break;
+    moves.push_back(move);
+  }
+  return moves;
+}
+
+BatchEvaluator::BatchEvaluator(const Problem& problem,
+                               std::vector<std::vector<uint32_t>> candidates)
+    : problem_(problem),
+      inner_(problem),
+      candidates_(std::move(candidates)),
+      evals_(candidates_.size()),
+      ready_(candidates_.size(), 0) {
+  inner_.pool = nullptr;
+  ThreadPool* pool = problem_.pool;
+  if (pool != nullptr && pool->thread_count() > 1 && candidates_.size() > 1) {
+    // Speculative parallel evaluation. EvaluateSolution is pure and writes
+    // only its own index-addressed slot, so the schedule cannot change the
+    // bytes the scan below will read.
+    pool->ParallelFor(candidates_.size(), [&](size_t k) {
+      evals_[k] = EvaluateSolution(inner_, candidates_[k]);
+    });
+    std::fill(ready_.begin(), ready_.end(), 1);
+  }
+}
+
+const SolutionEval& BatchEvaluator::Get(size_t k) {
+  MUBE_CHECK(k < candidates_.size());
+  if (!ready_[k]) {
+    // Lazy regime (threads=1, or a single-candidate batch): evaluate on
+    // demand, with the full problem so a lone candidate can still fan its
+    // QEFs out across the pool.
+    evals_[k] = EvaluateSolution(problem_, candidates_[k]);
+    ready_[k] = 1;
+  }
+  return evals_[k];
+}
+
+SolutionEval BatchEvaluator::Take(size_t k) {
+  Get(k);
+  return std::move(evals_[k]);
+}
+
 std::vector<uint32_t> ApplySwap(const std::vector<uint32_t>& solution,
                                 const SwapMove& move) {
   std::vector<uint32_t> next;

@@ -15,6 +15,15 @@
 /// member, add one non-member), which preserves both invariants. Constraint
 /// sources are never proposed for removal — this is the "permanently tabu
 /// region" device the paper describes in §6.
+///
+/// Parallel evaluation: the solvers batch their candidate moves (sampled
+/// up-front on the coordinating thread, so the RNG stream never depends on
+/// thread count) and score them through a BatchEvaluator. At threads=1 the
+/// batch is evaluated lazily in scan order — the exact serial code path; at
+/// threads>1 every candidate is evaluated speculatively across the pool and
+/// the solver's reduction scans the precomputed results in the same fixed
+/// order. Either way the scan consumes identical bytes, which is what makes
+/// fixed-seed runs bit-identical across thread counts.
 
 namespace mube {
 
@@ -53,6 +62,48 @@ std::vector<uint32_t> ApplySwap(const std::vector<uint32_t>& solution,
 /// \brief True iff `source_id` is one of the problem's effective
 /// constraints (binary search).
 bool IsConstrained(const Problem& problem, uint32_t source_id);
+
+/// \brief Samples up to `count` swaps for `solution`, stopping early at the
+/// first structural failure (no swap exists). Consumes the RNG identically
+/// whether the caller later scans one result or all of them — the device
+/// that decouples the random stream from early-termination decisions.
+std::vector<SwapMove> SampleSwapBatch(const Problem& problem,
+                                      const std::vector<uint32_t>& solution,
+                                      size_t count, Rng* rng);
+
+/// \brief One sampled neighborhood, scored either lazily (serial) or
+/// speculatively in parallel (see the file comment). Results are addressed
+/// by candidate index; Get(k) is only valid for k < size() and must not be
+/// called after Take(k) hollowed that slot.
+class BatchEvaluator {
+ public:
+  /// `problem` must outlive the evaluator. When `problem.pool` has more
+  /// than one thread and the batch more than one candidate, all candidates
+  /// are evaluated here, concurrently; otherwise evaluation happens on
+  /// first Get.
+  BatchEvaluator(const Problem& problem,
+                 std::vector<std::vector<uint32_t>> candidates);
+
+  size_t size() const { return candidates_.size(); }
+
+  /// The evaluation of candidate `k` (computed on demand in the lazy
+  /// regime).
+  const SolutionEval& Get(size_t k);
+
+  /// Moves candidate `k`'s evaluation out (for adopting the chosen move
+  /// without a copy).
+  SolutionEval Take(size_t k);
+
+ private:
+  const Problem& problem_;
+  /// Pool-stripped copy used for per-candidate evaluation during a parallel
+  /// batch: candidate-level parallelism already saturates the pool, and the
+  /// per-QEF fan-out inside EvaluateSolution would only add queue traffic.
+  Problem inner_;
+  std::vector<std::vector<uint32_t>> candidates_;
+  std::vector<SolutionEval> evals_;
+  std::vector<char> ready_;
+};
 
 }  // namespace mube
 

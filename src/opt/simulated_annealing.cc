@@ -1,8 +1,10 @@
 #include "opt/simulated_annealing.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/random.h"
+#include "common/threading.h"
 #include "opt/search_util.h"
 
 namespace mube {
@@ -11,38 +13,77 @@ Result<SolutionEval> SimulatedAnnealing::Run(const Problem& problem) {
   MUBE_RETURN_IF_ERROR(problem.Validate());
   Rng rng(options_.common.seed);
 
+  Problem work = problem;
+  std::optional<ThreadPool> pool;
+  if (work.pool == nullptr && ResolveThreadCount(options_.common.threads) > 1) {
+    pool.emplace(options_.common.threads);
+    work.pool = &*pool;
+  }
+  SearchTrace* trace = options_.common.trace;
+  if (trace != nullptr) *trace = SearchTrace{};
+
   MUBE_ASSIGN_OR_RETURN(std::vector<uint32_t> start,
-                        RandomFeasibleSubset(problem, &rng));
-  SolutionEval current = EvaluateSolution(problem, start);
+                        RandomFeasibleSubset(work, &rng));
+  SolutionEval current = EvaluateSolution(work, start);
   SolutionEval best = current;
-
-  double temperature = options_.initial_temperature;
-  size_t since_improvement = 0;
-
-  for (size_t evaluations = 1;
-       evaluations < options_.common.max_evaluations; ++evaluations) {
-    SwapMove move{};
-    if (!SampleSwap(problem, current.sources, &rng, &move)) break;
-    SolutionEval neighbor =
-        EvaluateSolution(problem, ApplySwap(current.sources, move));
-
-    const double delta = neighbor.overall - current.overall;
-    const bool accept =
-        delta >= 0.0 || rng.UniformDouble() < std::exp(delta / temperature);
-    if (accept) current = std::move(neighbor);
-
-    if (current.feasible && current.overall > best.overall) {
-      best = current;
-      since_improvement = 0;
-    } else if (options_.common.patience > 0 &&
-               ++since_improvement > options_.common.patience) {
-      break;
-    }
-
-    temperature =
-        std::max(options_.min_temperature, temperature * options_.cooling);
+  if (trace != nullptr && best.feasible) {
+    trace->incumbent_q.push_back(best.overall);
   }
 
+  double temperature = options_.initial_temperature;
+  const size_t max_evaluations = options_.common.max_evaluations;
+  const size_t speculation = std::max<size_t>(1, options_.speculation);
+  size_t evaluations = 1;
+  size_t since_improvement = 0;
+  bool done = false;
+
+  // Metropolis chain over speculative proposal batches: every proposal of a
+  // batch is a swap of the same `current` state, which matches the serial
+  // chain exactly up to the first acceptance — after which the batch is
+  // abandoned (its remaining proposals are stale). Moves are sampled
+  // up-front and acceptance coins are flipped in scan order on this thread,
+  // so the chain is bit-identical at any thread count.
+  while (!done && evaluations < max_evaluations) {
+    const size_t batch_n =
+        std::min(speculation, max_evaluations - evaluations);
+    std::vector<SwapMove> moves =
+        SampleSwapBatch(work, current.sources, batch_n, &rng);
+    if (moves.empty()) break;  // no swap exists at all
+    std::vector<std::vector<uint32_t>> candidates;
+    candidates.reserve(moves.size());
+    for (const SwapMove& move : moves) {
+      candidates.push_back(ApplySwap(current.sources, move));
+    }
+    BatchEvaluator batch(work, std::move(candidates));
+
+    for (size_t k = 0; k < moves.size() && !done; ++k) {
+      if (evaluations >= max_evaluations) break;
+      const SolutionEval& neighbor = batch.Get(k);
+
+      // Short-circuit order matters: an uphill move must not consume an
+      // acceptance coin, or the stream would shift between runs.
+      const double delta = neighbor.overall - current.overall;
+      const bool accept =
+          delta >= 0.0 || rng.UniformDouble() < std::exp(delta / temperature);
+      if (accept) current = batch.Take(k);
+
+      if (current.feasible && current.overall > best.overall) {
+        best = current;
+        since_improvement = 0;
+        if (trace != nullptr) trace->incumbent_q.push_back(best.overall);
+      } else if (options_.common.patience > 0 &&
+                 ++since_improvement > options_.common.patience) {
+        done = true;
+      }
+
+      temperature =
+          std::max(options_.min_temperature, temperature * options_.cooling);
+      ++evaluations;
+      if (accept) break;  // remaining proposals were sampled from stale state
+    }
+  }
+
+  if (trace != nullptr) trace->evaluations = evaluations;
   if (!best.feasible) {
     return Status::Infeasible("simulated annealing found no feasible solution");
   }

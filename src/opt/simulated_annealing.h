@@ -20,6 +20,12 @@ struct SimulatedAnnealingOptions {
   double cooling = 0.9995;
   /// Floor temperature (keeps late-stage exploration alive).
   double min_temperature = 1e-4;
+  /// Proposals sampled (and, at threads>1, evaluated speculatively in
+  /// parallel) per batch. The Metropolis scan still walks proposals in
+  /// sampling order and abandons the batch on the first acceptance, so the
+  /// thread count never changes the chain; changing this value does (it
+  /// moves the RNG stream).
+  size_t speculation = 4;
 };
 
 class SimulatedAnnealing : public Optimizer {

@@ -1,8 +1,10 @@
 #include "opt/tabu_search.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include "common/random.h"
+#include "common/threading.h"
 #include "opt/search_util.h"
 #include "schema/universe.h"
 
@@ -12,17 +14,32 @@ Result<SolutionEval> TabuSearch::Run(const Problem& problem) {
   MUBE_RETURN_IF_ERROR(problem.Validate());
   Rng rng(options_.common.seed);
 
+  // The solver owns its pool; threads=1 (the default) never constructs one
+  // and runs the strictly serial path. An externally supplied problem.pool
+  // is honored as-is.
+  Problem work = problem;
+  std::optional<ThreadPool> pool;
+  if (work.pool == nullptr && ResolveThreadCount(options_.common.threads) > 1) {
+    pool.emplace(options_.common.threads);
+    work.pool = &*pool;
+  }
+  SearchTrace* trace = options_.common.trace;
+  if (trace != nullptr) *trace = SearchTrace{};
+
   // Warm start when a repaired previous solution is supplied; random
   // otherwise. Both paths yield a feasible-sized subset ⊇ constraints.
   MUBE_ASSIGN_OR_RETURN(
       std::vector<uint32_t> current,
-      WarmStartSubset(problem, options_.common.initial_solution, &rng));
-  SolutionEval current_eval = EvaluateSolution(problem, current);
+      WarmStartSubset(work, options_.common.initial_solution, &rng));
+  SolutionEval current_eval = EvaluateSolution(work, current);
   SolutionEval best = current_eval;
+  if (trace != nullptr && best.feasible) {
+    trace->incumbent_q.push_back(best.overall);
+  }
 
   const size_t tenure = options_.tenure > 0
                             ? options_.tenure
-                            : problem.TargetSize() / 3 + 2;
+                            : work.TargetSize() / 3 + 2;
 
   // source id -> first iteration at which touching it is allowed again.
   std::unordered_map<uint32_t, size_t> tabu_until;
@@ -44,36 +61,52 @@ Result<SolutionEval> TabuSearch::Run(const Problem& problem) {
       tabu_until.clear();
       since_intensification = 0;
     }
-    // Sample a candidate neighborhood and keep the best admissible move.
+
+    // Sample the whole neighborhood up-front. The RNG is consumed for every
+    // slot whether or not the scan below reaches it, so the stream (and
+    // hence the trajectory) cannot depend on where the scan stops — which
+    // is also what makes the thread count irrelevant to the result.
+    const size_t batch_n =
+        std::min(options_.neighbors_per_iteration,
+                 options_.common.max_evaluations - evaluations);
+    std::vector<SwapMove> moves =
+        SampleSwapBatch(work, current_eval.sources, batch_n, &rng);
+    std::vector<std::vector<uint32_t>> candidates;
+    candidates.reserve(moves.size());
+    for (const SwapMove& move : moves) {
+      candidates.push_back(ApplySwap(current_eval.sources, move));
+    }
+    BatchEvaluator batch(work, std::move(candidates));
+
+    // Deterministic reduction: scan in sampling order and keep the best
+    // admissible move. Only scanned slots are charged against the budget —
+    // a speculative evaluation the scan never reached costs wall-clock
+    // parallelism, not budget, so the meter reads the same at any thread
+    // count.
     bool have_move = false;
-    SwapMove best_move{};
-    SolutionEval best_neighbor;
-    for (size_t k = 0; k < options_.neighbors_per_iteration &&
-                       evaluations < options_.common.max_evaluations;
-         ++k) {
-      SwapMove move{};
-      if (!SampleSwap(problem, current_eval.sources, &rng, &move)) break;
-      SolutionEval neighbor =
-          EvaluateSolution(problem, ApplySwap(current_eval.sources, move));
+    size_t best_k = 0;
+    double best_q = 0.0;
+    for (size_t k = 0; k < moves.size(); ++k) {
+      const SolutionEval& neighbor = batch.Get(k);
       ++evaluations;
 
-      const bool tabu =
-          is_tabu(move.add, iteration) || is_tabu(move.drop, iteration);
+      const bool tabu = is_tabu(moves[k].add, iteration) ||
+                        is_tabu(moves[k].drop, iteration);
       // Aspiration: a tabu move is admissible if it beats the incumbent.
       if (tabu && !(neighbor.feasible && neighbor.overall > best.overall)) {
         continue;
       }
-      if (!have_move || neighbor.overall > best_neighbor.overall) {
+      if (!have_move || neighbor.overall > best_q) {
         have_move = true;
-        best_move = move;
-        best_neighbor = std::move(neighbor);
+        best_k = k;
+        best_q = neighbor.overall;
       }
       // First-improvement shortcut: an admissible uphill move is taken
-      // immediately — sampling more candidates would only spend budget the
-      // hill-climbing phase doesn't need. The full sample (and the forced
+      // immediately — scanning more candidates would only spend budget the
+      // hill-climbing phase doesn't need. The full scan (and the forced
       // best-of-sample move) only matters on plateaus and descents, where
       // the tabu memory earns its keep.
-      if (have_move && best_neighbor.overall > current_eval.overall) break;
+      if (have_move && best_q > current_eval.overall) break;
     }
     if (!have_move) {
       // Whole sample was tabu or no swap exists; age the memory and retry.
@@ -88,7 +121,8 @@ Result<SolutionEval> TabuSearch::Run(const Problem& problem) {
 
     // Tabu search moves to the best neighbor even when it is worse — that
     // is what lets it escape local maxima; the memory prevents cycling.
-    current_eval = std::move(best_neighbor);
+    const SwapMove best_move = moves[best_k];
+    current_eval = batch.Take(best_k);
     tabu_until[best_move.drop] = iteration + tenure;  // don't re-add soon
     tabu_until[best_move.add] = iteration + tenure;   // don't re-drop soon
 
@@ -96,6 +130,7 @@ Result<SolutionEval> TabuSearch::Run(const Problem& problem) {
       best = current_eval;
       since_improvement = 0;
       since_intensification = 0;
+      if (trace != nullptr) trace->incumbent_q.push_back(best.overall);
     } else {
       since_improvement += options_.neighbors_per_iteration;
       since_intensification += options_.neighbors_per_iteration;
@@ -106,6 +141,7 @@ Result<SolutionEval> TabuSearch::Run(const Problem& problem) {
     }
   }
 
+  if (trace != nullptr) trace->evaluations = evaluations;
   if (!best.feasible) {
     return Status::Infeasible(
         "tabu search found no feasible solution (theta too high or "

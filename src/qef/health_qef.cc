@@ -1,0 +1,18 @@
+#include "qef/health_qef.h"
+
+#include <algorithm>
+
+namespace mube {
+
+double SourceHealthQef::Evaluate(
+    const std::vector<uint32_t>& source_ids) const {
+  if (source_ids.empty()) return 0.0;
+  double sum = 0.0;
+  for (uint32_t sid : source_ids) {
+    auto it = health_.find(sid);
+    sum += it == health_.end() ? 1.0 : std::clamp(it->second, 0.0, 1.0);
+  }
+  return sum / static_cast<double>(source_ids.size());
+}
+
+}  // namespace mube

@@ -16,28 +16,44 @@ MatchQualityQef::MatchQualityQef(const Matcher& matcher, MatchOptions options,
 const MatchResult& MatchQualityQef::MatchFor(
     const std::vector<uint32_t>& source_ids) const {
   const uint64_t key = SetFingerprint(source_ids);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  CacheShard& shard = shards_[ShardOf(key)];
+  {
+    MutexLock lock(&shard.mu);
+    auto it = shard.results.find(key);
+    if (it != shard.results.end()) return it->second;
+  }
 
-  Result<MatchResult> result =
-      matcher_.Match(source_ids, options_, source_constraints_,
-                     ga_constraints_);
+  // Match runs outside the lock — it is the expensive part, and it only
+  // reads immutable state. Two threads may race on the same key; both
+  // compute identical results and try_emplace keeps whichever landed first.
+  Result<MatchResult> result = matcher_.Match(
+      source_ids, options_, source_constraints_, ga_constraints_);
   if (!result.ok()) {
     // The optimizer only proposes well-formed subsets; reaching this means
     // a caller handed us malformed input. Surface loudly but keep the QEF
     // contract (worst quality) instead of crashing a long-running session.
     MUBE_LOG(kWarning) << "Match(S) rejected input: "
                        << result.status().ToString();
-    it = cache_.emplace(key, MatchResult{}).first;
-    return it->second;
+    MutexLock lock(&shard.mu);
+    return shard.results.try_emplace(key, MatchResult{}).first->second;
   }
-  it = cache_.emplace(key, result.MoveValueUnsafe()).first;
-  return it->second;
+  MutexLock lock(&shard.mu);
+  return shard.results.try_emplace(key, result.MoveValueUnsafe())
+      .first->second;
 }
 
 double MatchQualityQef::Evaluate(
     const std::vector<uint32_t>& source_ids) const {
   return MatchFor(source_ids).quality;
+}
+
+size_t MatchQualityQef::cache_size() const {
+  size_t total = 0;
+  for (const CacheShard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    total += shard.results.size();
+  }
+  return total;
 }
 
 }  // namespace mube

@@ -1,9 +1,12 @@
 #ifndef MUBE_QEF_MATCH_QEF_H_
 #define MUBE_QEF_MATCH_QEF_H_
 
+#include <array>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 #include "match/matcher.h"
 #include "qef/qef.h"
 
@@ -24,6 +27,13 @@ namespace mube {
 /// Constraints (C, G) and θ/β are fixed per instance — they change between
 /// µBE iterations, and each iteration builds a fresh problem, so a stale
 /// cache cannot leak across constraint changes.
+///
+/// Thread-compatible const interface: Evaluate/MatchFor may be called from
+/// any number of threads concurrently (the Matcher itself is stateless; the
+/// memo is sharded under per-shard locks). Entries are never erased, and
+/// unordered_map guarantees reference stability across inserts, so the
+/// reference MatchFor returns stays valid for the QEF's lifetime even while
+/// other threads keep inserting.
 class MatchQualityQef : public Qef {
  public:
   /// `matcher` must outlive the QEF. `source_constraints` must be a subset
@@ -48,14 +58,25 @@ class MatchQualityQef : public Qef {
   const MediatedSchema& ga_constraints() const { return ga_constraints_; }
 
   /// Number of distinct subsets evaluated so far (cache size).
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const;
 
  private:
+  /// Sharded like SignatureCache's union memo and for the same reason: the
+  /// parallel neighborhood evaluation hammers this cache from every worker.
+  static constexpr size_t kCacheShards = 8;
+  struct CacheShard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, MatchResult> results GUARDED_BY(mu);
+  };
+  static size_t ShardOf(uint64_t fingerprint) {
+    return (fingerprint >> 58) % kCacheShards;
+  }
+
   const Matcher& matcher_;
   MatchOptions options_;
   std::vector<uint32_t> source_constraints_;
   MediatedSchema ga_constraints_;
-  mutable std::unordered_map<uint64_t, MatchResult> cache_;
+  mutable std::array<CacheShard, kCacheShards> shards_;
 };
 
 }  // namespace mube

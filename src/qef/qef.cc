@@ -80,6 +80,18 @@ std::vector<double> QefSet::EvaluateAll(
   return values;
 }
 
+std::vector<double> QefSet::EvaluateAll(const std::vector<uint32_t>& source_ids,
+                                        ThreadPool* pool) const {
+  if (pool == nullptr || pool->thread_count() <= 1 || qefs_.size() <= 1) {
+    return EvaluateAll(source_ids);
+  }
+  std::vector<double> values(qefs_.size(), 0.0);
+  pool->ParallelFor(qefs_.size(), [&](size_t i) {
+    values[i] = qefs_[i]->Evaluate(source_ids);
+  });
+  return values;
+}
+
 int64_t QefSet::FindByName(const std::string& name) const {
   for (size_t i = 0; i < qefs_.size(); ++i) {
     if (qefs_[i]->name() == name) return static_cast<int64_t>(i);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/threading.h"
 
 /// \file qef.h
 /// Quality Evaluation Functions (paper §2.3). A QEF F_k maps a set of
@@ -17,6 +18,14 @@
 namespace mube {
 
 /// \brief Interface: one quality dimension over source subsets.
+///
+/// Evaluate is const and must be *thread-compatible*: the optimizer's
+/// parallel neighborhood evaluation calls it concurrently from pool
+/// workers. Implementations may keep internal memoization, but only behind
+/// the annotated locks of common/threading.h (see MatchQualityQef and the
+/// SignatureCache-backed data QEFs), and the returned value must be a pure
+/// function of `source_ids` so any execution schedule yields identical
+/// bytes.
 class Qef {
  public:
   virtual ~Qef() = default;
@@ -61,9 +70,15 @@ class QefSet {
   /// Q(S) = Σ w_i F_i(S). CHECK-fails if the set is empty.
   double OverallQuality(const std::vector<uint32_t>& source_ids) const;
 
-  /// All F_i(S) values, parallel to the insertion order.
+  /// All F_i(S) values, parallel to the insertion order. With a non-null
+  /// `pool`, each F_i is evaluated as an independent pool task (they share
+  /// no mutable state beyond their internal locked memos); the values land
+  /// in index-addressed slots and the weighted sum is reduced in insertion
+  /// order, so the result is bit-identical to the serial overload.
   std::vector<double> EvaluateAll(
       const std::vector<uint32_t>& source_ids) const;
+  std::vector<double> EvaluateAll(const std::vector<uint32_t>& source_ids,
+                                  ThreadPool* pool) const;
 
   size_t size() const { return qefs_.size(); }
   const Qef& qef(size_t i) const { return *qefs_[i]; }

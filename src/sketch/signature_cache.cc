@@ -44,6 +44,23 @@ void SignatureCache::RecomputeUniverseUnion() {
   universe_union_ = all.IsEmpty() ? 0.0 : all.Estimate();
 }
 
+void SignatureCache::InvalidateIntersecting(uint64_t dirty_mask) {
+  // Selective invalidation: an entry whose membership mask misses every
+  // dirty bit provably contains no changed source and stays valid. Mask
+  // collisions (ids ≡ mod 64) only cause harmless recomputation.
+  for (MemoShard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    for (auto it = shard.memo.begin(); it != shard.memo.end();) {
+      if ((it->second.member_mask & dirty_mask) != 0) {
+        it = shard.memo.erase(it);
+        ++shard.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
 void SignatureCache::ApplyChurn(const Universe& universe,
                                 const std::vector<uint32_t>& dirty_sources) {
   sketches_.resize(universe.size());
@@ -55,17 +72,7 @@ void SignatureCache::ApplyChurn(const Universe& universe,
   }
   if (dirty_sources.empty()) return;
 
-  // Selective invalidation: an entry whose membership mask misses every
-  // dirty bit provably contains no changed source and stays valid. Mask
-  // collisions (ids ≡ mod 64) only cause harmless recomputation.
-  for (auto it = union_memo_.begin(); it != union_memo_.end();) {
-    if ((it->second.member_mask & dirty_mask) != 0) {
-      it = union_memo_.erase(it);
-      ++memo_invalidations_;
-    } else {
-      ++it;
-    }
-  }
+  InvalidateIntersecting(dirty_mask);
 
   // The denominator re-merges cached signatures only — churn maintenance
   // never re-scans source data beyond the dirty sources themselves.
@@ -78,15 +85,7 @@ void SignatureCache::OverrideSketch(uint32_t source_id,
   if (sketch.has_value()) MUBE_CHECK(sketch->config() == config_);
   sketches_[source_id] = std::move(sketch);
 
-  const uint64_t dirty_bit = uint64_t{1} << (source_id % 64);
-  for (auto it = union_memo_.begin(); it != union_memo_.end();) {
-    if ((it->second.member_mask & dirty_bit) != 0) {
-      it = union_memo_.erase(it);
-      ++memo_invalidations_;
-    } else {
-      ++it;
-    }
-  }
+  InvalidateIntersecting(uint64_t{1} << (source_id % 64));
   RecomputeUniverseUnion();
 }
 
@@ -99,13 +98,22 @@ double SignatureCache::EstimateUnion(
     const std::vector<uint32_t>& source_ids) const {
   if (source_ids.empty()) return 0.0;
   const uint64_t key = SetFingerprint(source_ids);
-  auto it = union_memo_.find(key);
-  if (it != union_memo_.end()) {
-    ++memo_hits_;
-    return it->second.estimate;
+  MemoShard& shard = shards_[ShardOf(key)];
+  {
+    MutexLock lock(&shard.mu);
+    auto it = shard.memo.find(key);
+    if (it != shard.memo.end()) {
+      ++shard.hits;
+      return it->second.estimate;
+    }
+    ++shard.misses;
   }
-  ++memo_misses_;
 
+  // The merge runs outside the lock: it only reads the immutable sketches,
+  // and holding a shard lock across O(|S|) sketch merges would serialize
+  // every concurrent evaluation that hashes to this shard. Two threads
+  // missing on the same key both compute the same bytes; the second insert
+  // is a no-op.
   PcsaSketch merged(config_);
   uint64_t member_mask = 0;
   for (uint32_t sid : source_ids) {
@@ -115,18 +123,21 @@ double SignatureCache::EstimateUnion(
   }
   const double estimate = merged.IsEmpty() ? 0.0 : merged.Estimate();
 
-  if (union_memo_.size() >= memo_capacity_) {
-    // Cheap batch eviction: drop a quarter of the entries in hash order
-    // (effectively random). Keeps the common case allocation-free and
-    // avoids tracking recency on the optimizer's hot path.
-    size_t to_evict = std::max<size_t>(1, memo_capacity_ / 4);
-    for (auto evict = union_memo_.begin();
-         evict != union_memo_.end() && to_evict > 0; --to_evict) {
-      evict = union_memo_.erase(evict);
-      ++memo_evictions_;
+  {
+    MutexLock lock(&shard.mu);
+    if (shard.memo.size() >= PerShardCapacity()) {
+      // Cheap batch eviction: drop a quarter of the shard's entries in hash
+      // order (effectively random). Keeps the common case allocation-free
+      // and avoids tracking recency on the optimizer's hot path.
+      size_t to_evict = std::max<size_t>(1, PerShardCapacity() / 4);
+      for (auto evict = shard.memo.begin();
+           evict != shard.memo.end() && to_evict > 0; --to_evict) {
+        evict = shard.memo.erase(evict);
+        ++shard.evictions;
+      }
     }
+    shard.memo.emplace(key, MemoEntry{estimate, member_mask});
   }
-  union_memo_.emplace(key, MemoEntry{estimate, member_mask});
   return estimate;
 }
 
@@ -144,20 +155,26 @@ size_t SignatureCache::TotalSignatureBytes() const {
 
 SignatureCache::MemoStats SignatureCache::memo_stats() const {
   MemoStats stats;
-  stats.entries = union_memo_.size();
   stats.capacity = memo_capacity_;
-  stats.hits = memo_hits_;
-  stats.misses = memo_misses_;
-  stats.evictions = memo_evictions_;
-  stats.invalidations = memo_invalidations_;
+  for (const MemoShard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    stats.entries += shard.memo.size();
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+  }
   return stats;
 }
 
 void SignatureCache::set_memo_capacity(size_t capacity) {
   memo_capacity_ = std::max<size_t>(1, capacity);
-  while (union_memo_.size() > memo_capacity_) {
-    union_memo_.erase(union_memo_.begin());
-    ++memo_evictions_;
+  for (MemoShard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    while (shard.memo.size() > PerShardCapacity()) {
+      shard.memo.erase(shard.memo.begin());
+      ++shard.evictions;
+    }
   }
 }
 

@@ -1,11 +1,15 @@
 #ifndef MUBE_SKETCH_SIGNATURE_CACHE_H_
 #define MUBE_SKETCH_SIGNATURE_CACHE_H_
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 #include "sketch/pcsa.h"
 
 /// \file signature_cache.h
@@ -24,6 +28,16 @@
 /// 64-bit membership mask of its subset's source ids, which is what lets
 /// churn (src/dynamic) *selectively* invalidate only the memoized subsets
 /// that could contain a changed source instead of wiping the whole memo.
+///
+/// Concurrency contract (read-mostly): the sketches and the universe union
+/// are immutable between mutations, and every const method — including the
+/// memoizing EstimateUnion — is safe to call from any number of threads
+/// concurrently; the union memo is sharded under per-shard locks so the
+/// optimizer's parallel neighborhood evaluation does not serialize on one
+/// global mutex. The mutators (ApplyChurn, OverrideSketch,
+/// set_memo_capacity) require external exclusion: they run on the
+/// coordinating thread between optimizer runs, never concurrently with
+/// readers.
 
 namespace mube {
 
@@ -46,7 +60,7 @@ class SignatureCache {
   /// the cached signatures (never by re-scanning data); and memoized union
   /// estimates are invalidated only when their membership mask intersects a
   /// dirty source. The result is identical to rebuilding the cache from the
-  /// mutated universe.
+  /// mutated universe. Requires external exclusion (no concurrent readers).
   void ApplyChurn(const Universe& universe,
                   const std::vector<uint32_t>& dirty_sources);
 
@@ -55,7 +69,8 @@ class SignatureCache {
   /// shipping one). Invalidates every memoized union whose membership mask
   /// could contain the source and re-derives the universe union, so
   /// subsequent estimates are consistent with the override. The sketch's
-  /// config must match the cache's (CHECK-enforced).
+  /// config must match the cache's (CHECK-enforced). Requires external
+  /// exclusion (no concurrent readers).
   void OverrideSketch(uint32_t source_id, std::optional<PcsaSketch> sketch);
 
   /// True iff the source shipped a signature.
@@ -71,6 +86,9 @@ class SignatureCache {
 
   /// Estimated |∪_{i ∈ source_ids, cooperative} s_i|. Returns 0 for an
   /// empty (or all-uncooperative) set. Memoized per distinct subset.
+  /// Thread-safe; the returned value is a pure function of the subset, so a
+  /// concurrent hit, miss, or eviction race never changes what is returned
+  /// — only how it was obtained.
   double EstimateUnion(const std::vector<uint32_t>& source_ids) const;
 
   /// Estimated distinct-tuple count of the union of *all* cooperative
@@ -96,7 +114,8 @@ class SignatureCache {
   MemoStats memo_stats() const;
 
   /// Caps the memo entry count (>= 1). When an insert would exceed the cap,
-  /// a quarter of the entries are evicted in one cheap sweep.
+  /// a quarter of the affected shard's entries are evicted in one cheap
+  /// sweep. Requires external exclusion (setup-phase knob).
   void set_memo_capacity(size_t capacity);
   static constexpr size_t kDefaultMemoCapacity = 1 << 16;
   /// @}
@@ -107,6 +126,31 @@ class SignatureCache {
     uint64_t member_mask = 0;  // OR of 1 << (source_id % 64) over the subset
   };
 
+  /// The memo is sharded by fingerprint so concurrent EstimateUnion calls
+  /// from the optimizer's thread pool contend only when they land on the
+  /// same shard, not on one global lock. A subset always maps to the same
+  /// shard (the shard index is a pure function of its fingerprint).
+  static constexpr size_t kMemoShards = 8;
+  struct MemoShard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, MemoEntry> memo GUARDED_BY(mu);
+    size_t hits GUARDED_BY(mu) = 0;
+    size_t misses GUARDED_BY(mu) = 0;
+    size_t evictions GUARDED_BY(mu) = 0;
+    size_t invalidations GUARDED_BY(mu) = 0;
+  };
+
+  static size_t ShardOf(uint64_t fingerprint) {
+    return (fingerprint >> 58) % kMemoShards;  // top bits: memo key uses all
+  }
+  size_t PerShardCapacity() const {
+    return std::max<size_t>(1, memo_capacity_ / kMemoShards);
+  }
+
+  /// Drops every memo entry whose membership mask intersects `dirty_mask`
+  /// (counted as invalidations).
+  void InvalidateIntersecting(uint64_t dirty_mask);
+
   /// (Re)computes one slot: a fresh sketch for a live cooperative source,
   /// an empty slot otherwise.
   void RefreshSlot(const Universe& universe, uint32_t source_id);
@@ -116,15 +160,12 @@ class SignatureCache {
   void RecomputeUniverseUnion();
 
   PcsaConfig config_;
+  /// Immutable between mutations; read without locks by all threads.
   std::vector<std::optional<PcsaSketch>> sketches_;  // index = source id
   size_t cooperative_count_ = 0;
   double universe_union_ = 0.0;
   size_t memo_capacity_ = kDefaultMemoCapacity;
-  mutable std::unordered_map<uint64_t, MemoEntry> union_memo_;
-  mutable size_t memo_hits_ = 0;
-  mutable size_t memo_misses_ = 0;
-  mutable size_t memo_evictions_ = 0;
-  size_t memo_invalidations_ = 0;
+  mutable std::array<MemoShard, kMemoShards> shards_;
 };
 
 }  // namespace mube

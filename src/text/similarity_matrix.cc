@@ -1,9 +1,8 @@
 #include "text/similarity_matrix.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
+#include "common/threading.h"
 #include "schema/universe.h"
 
 namespace mube {
@@ -72,9 +71,7 @@ void SimilarityMatrix::Recompute(const Universe& universe,
     }
   }
 
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  threads = ResolveThreadCount(threads);
   threads = std::min<unsigned>(
       threads, static_cast<unsigned>(std::max<size_t>(1, n_ / 2)));
 
@@ -90,8 +87,8 @@ void SimilarityMatrix::Recompute(const Universe& universe,
   // j > i would otherwise be written by several workers).
   std::vector<std::vector<float>> partial_max(
       threads, std::vector<float>(n_, 0.0f));
-  std::atomic<size_t> measure_calls{0};
-  auto worker = [&](unsigned t) {
+  std::vector<size_t> partial_calls(threads, 0);
+  auto worker = [&](size_t t) {
     std::vector<float>& my_max = partial_max[t];
     size_t my_calls = 0;
     for (size_t i = t; i < n_; i += threads) {
@@ -112,19 +109,18 @@ void SimilarityMatrix::Recompute(const Universe& universe,
         my_max[j] = std::max(my_max[j], sim);
       }
     }
-    measure_calls.fetch_add(my_calls, std::memory_order_relaxed);
+    partial_calls[t] = my_calls;
   };
 
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& th : pool) th.join();
-  }
-  last_measure_calls_ = measure_calls.load(std::memory_order_relaxed);
+  // Stride t is one ParallelFor task; task t writes only partial_max[t],
+  // partial_calls[t], and row i's disjoint packed range, so the schedule
+  // cannot affect a single byte of the result. threads==1 runs the pool's
+  // inline serial path. All reductions below happen in fixed index order.
+  ThreadPool pool(threads);
+  pool.ParallelFor(threads, worker);
 
+  last_measure_calls_ = 0;
+  for (size_t calls : partial_calls) last_measure_calls_ += calls;
   for (const std::vector<float>& my_max : partial_max) {
     for (size_t i = 0; i < n_; ++i) {
       row_max_[i] = std::max(row_max_[i], my_max[i]);

@@ -30,6 +30,13 @@ class Universe;
 
 /// \brief Upper-triangular float matrix of attribute similarities, indexed
 /// by the universe's dense global attribute indexes.
+///
+/// Thread compatibility: immutable after build. Once the constructor (or
+/// Rebuild/ApplyChurn) returns, every method is const and the object may be
+/// read from any number of threads without synchronization — the parallel
+/// optimizer relies on this. The mutators themselves require external
+/// exclusion (they are driven single-threaded from the session loop) and
+/// internally fan out over an owned ThreadPool with disjoint writes.
 class SimilarityMatrix {
  public:
   /// Computes all cross-source pairwise similarities with `measure`.

@@ -2,6 +2,7 @@
 // generated Books universes, the Session feedback loop (the paper's §6
 // interaction model), and the Table 1 ground-truth scorer.
 
+#include <algorithm>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -428,6 +429,135 @@ TEST_F(SessionTest, SaveAndRestoreStateRoundTrips) {
   EXPECT_TRUE(std::binary_search(result.ValueOrDie().solution.sources.begin(),
                                  result.ValueOrDie().solution.sources.end(),
                                  4u));
+}
+
+// ------------------------------------------------- reliability feedback --
+
+// Six interchangeable sources (same "title" attribute, disjoint equal-size
+// tuple sets): every 3-subset scores the same base Q, so the health bias is
+// the only tiebreaker and its effect on selection is deterministic.
+class HealthBiasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 6; ++i) {
+      Source s(0, "src" + std::to_string(i));
+      s.AddAttribute(Attribute("title"));
+      s.AddAttribute(Attribute("junkcol" + std::to_string(i) + "zz"));
+      std::vector<uint64_t> tuples;
+      for (uint64_t t = 0; t < 1000; ++t) {
+        tuples.push_back(static_cast<uint64_t>(i) * 100'000 + t);
+      }
+      s.SetTuples(std::move(tuples));
+      universe_.AddSource(std::move(s));
+    }
+    MubeConfig config = FastConfig();
+    config.max_sources = 3;
+    config.optimizer = "exhaustive";  // C(6,3) = 20: the true optimum
+    auto session = Session::Create(&universe_, config);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    session_ = std::move(session).ValueOrDie();
+  }
+
+  /// Records `ok` successes and `failed` failures for source `sid`.
+  void RecordScans(uint32_t sid, size_t ok, size_t failed,
+                   size_t short_circuits = 0) {
+    ExecutionReport report;
+    for (size_t i = 0; i < ok; ++i) {
+      SourceScanLog log;
+      log.source_id = sid;
+      log.status = ScanStatus::kOk;
+      report.scans.push_back(log);
+    }
+    for (size_t i = 0; i < failed; ++i) {
+      SourceScanLog log;
+      log.source_id = sid;
+      log.status = ScanStatus::kFailed;
+      report.scans.push_back(log);
+    }
+    for (size_t i = 0; i < short_circuits; ++i) {
+      SourceScanLog log;
+      log.source_id = sid;
+      log.status = ScanStatus::kShortCircuited;
+      report.scans.push_back(log);
+    }
+    session_->RecordExecution(report);
+  }
+
+  Universe universe_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(HealthBiasTest, HealthScoresReflectScanOutcomes) {
+  RecordScans(0, 3, 1);
+  RecordScans(1, 1, 0, 3);  // short-circuits count as failures
+  RecordScans(2, 5, 0);
+  const auto scores = session_->HealthScores();
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores.at(0), 0.75);
+  EXPECT_DOUBLE_EQ(scores.at(1), 0.25);
+  EXPECT_DOUBLE_EQ(scores.at(2), 1.0);
+  EXPECT_EQ(scores.count(3), 0u);  // never executed: absent, not penalized
+}
+
+TEST_F(HealthBiasTest, OpenBreakerSourceSelectedAroundWhenBiasOn) {
+  // Source 0's breaker keeps opening: 1 success, many short-circuits.
+  RecordScans(0, 1, 1, 8);
+  for (uint32_t sid = 1; sid < 6; ++sid) RecordScans(sid, 4, 0);
+
+  // Bias off (default): health is reported, never optimized for.
+  auto baseline = session_->Iterate();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const auto& base_names = baseline.ValueOrDie().qef_names;
+  EXPECT_EQ(std::count(base_names.begin(), base_names.end(), "health"), 0);
+
+  // Bias on: every subset containing source 0 is strictly dominated by the
+  // same subset with 0 swapped for a healthy source, so the optimum cannot
+  // contain it.
+  ASSERT_TRUE(session_->SetHealthBias(0.3).ok());
+  auto biased = session_->Iterate();
+  ASSERT_TRUE(biased.ok()) << biased.status().ToString();
+  const MubeResult& result = biased.ValueOrDie();
+  EXPECT_FALSE(std::binary_search(result.solution.sources.begin(),
+                                  result.solution.sources.end(), 0u));
+  ASSERT_EQ(result.qef_names.back(), "health");
+  ASSERT_EQ(result.qef_names.size(), result.solution.qef_values.size());
+  // All three chosen sources are fully healthy.
+  EXPECT_DOUBLE_EQ(result.solution.qef_values.back(), 1.0);
+}
+
+TEST_F(HealthBiasTest, PinnedSourceOverridesHealthBias) {
+  // The user's explicit pin outranks the reliability feedback: the failing
+  // source stays selected, its poor health merely prices the solution.
+  RecordScans(0, 0, 6);
+  ASSERT_TRUE(session_->SetHealthBias(0.3).ok());
+  ASSERT_TRUE(session_->PinSource(0u).ok());
+  auto result = session_->Iterate();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(std::binary_search(result.ValueOrDie().solution.sources.begin(),
+                                 result.ValueOrDie().solution.sources.end(),
+                                 0u));
+  EXPECT_LT(result.ValueOrDie().solution.qef_values.back(), 1.0);
+}
+
+TEST_F(HealthBiasTest, BiasValidationAndPersistence) {
+  EXPECT_FALSE(session_->SetHealthBias(-0.1).ok());
+  EXPECT_FALSE(session_->SetHealthBias(1.0).ok());
+  ASSERT_TRUE(session_->SetHealthBias(0.25).ok());
+  EXPECT_DOUBLE_EQ(session_->health_bias(), 0.25);
+
+  auto saved = session_->SaveState();
+  ASSERT_TRUE(saved.ok());
+  EXPECT_NE(saved.ValueOrDie().find("health_bias"), std::string::npos);
+
+  MubeConfig config = FastConfig();
+  config.max_sources = 3;
+  auto fresh = Session::Create(&universe_, config);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh.ValueOrDie()->RestoreState(saved.ValueOrDie()).ok());
+  EXPECT_DOUBLE_EQ(fresh.ValueOrDie()->health_bias(), 0.25);
+  // Restoring a blob without the directive resets the bias to off.
+  ASSERT_TRUE(fresh.ValueOrDie()->RestoreState("seed 1\n").ok());
+  EXPECT_DOUBLE_EQ(fresh.ValueOrDie()->health_bias(), 0.0);
 }
 
 TEST_F(SessionTest, RestoreStateRejectsGarbageAtomically) {

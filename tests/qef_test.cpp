@@ -10,6 +10,7 @@
 #include "match/matcher.h"
 #include "qef/characteristic_qef.h"
 #include "qef/data_qefs.h"
+#include "qef/health_qef.h"
 #include "qef/match_qef.h"
 #include "qef/qef.h"
 #include "schema/universe.h"
@@ -262,6 +263,20 @@ TEST(CharacteristicQefTest, InvertFlipsOrientation) {
   EXPECT_NEAR(straight.Evaluate({2}) + inverted.Evaluate({2}), 1.0, 1e-12);
   EXPECT_EQ(straight.name(), "mttf:wsum");
   EXPECT_EQ(inverted.name(), "mttf:wsum:inverted");
+}
+
+// ------------------------------------------------------------- health QEF --
+
+TEST(SourceHealthQefTest, MeanOverSubsetWithHealthyDefault) {
+  SourceHealthQef qef({{0, 0.5}, {1, 0.0}, {2, 1.5}, {3, -0.25}});
+  EXPECT_EQ(qef.name(), "health");
+  EXPECT_DOUBLE_EQ(qef.Evaluate({0}), 0.5);
+  EXPECT_DOUBLE_EQ(qef.Evaluate({1}), 0.0);
+  EXPECT_DOUBLE_EQ(qef.Evaluate({2}), 1.0);   // clamped from above
+  EXPECT_DOUBLE_EQ(qef.Evaluate({3}), 0.0);   // clamped from below
+  EXPECT_DOUBLE_EQ(qef.Evaluate({9}), 1.0);   // unobserved: healthy
+  EXPECT_DOUBLE_EQ(qef.Evaluate({0, 1, 9, 42}), (0.5 + 0.0 + 1.0 + 1.0) / 4);
+  EXPECT_DOUBLE_EQ(qef.Evaluate({}), 0.0);
 }
 
 // -------------------------------------------------------------- match QEF --

@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""mube_lint: project-specific invariants the compilers don't enforce.
+
+Rules
+-----
+nodiscard        src/common/status.h must keep [[nodiscard]] on Status and
+                 Result — every other rule about error handling hangs off it.
+randomness       Ad-hoc randomness (std::rand, srand, time(nullptr) seeds,
+                 std::random_device, mt19937) is banned outside
+                 src/common/random.*: every random decision must flow through
+                 the seeded Rng so fixed-seed runs are reproducible.
+naked-new        `new` is allowed only when ownership is taken on the same
+                 statement (smart-pointer constructor / make_*) or in a
+                 `static` never-destroyed singleton initializer; `delete`
+                 expressions are banned outright.
+raw-sync         std::mutex & friends are banned outside
+                 src/common/threading.h: only the annotated wrappers give
+                 Clang's -Wthread-safety anything to analyze.
+header-guard     Headers use #ifndef MUBE_<PATH>_H_ guards (no #pragma
+                 once); the guard must match the file's path under src/.
+include-order    A .cc file's first include is its own header, so every
+                 header is verified self-contained by its own translation
+                 unit.
+
+Usage
+-----
+  tools/lint/mube_lint.py [--root DIR]     lint the tree (exit 1 on findings)
+  tools/lint/mube_lint.py --self-test      run the rule engine against the
+                                           annotated fixtures in testdata/
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINT_DIRS = ("src", "tests", "bench", "examples")
+RANDOMNESS_ALLOWED = ("src/common/random.h", "src/common/random.cc")
+RAW_SYNC_ALLOWED = ("src/common/threading.h",)
+
+BANNED_RANDOMNESS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"\bsrand\s*\("), "srand"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time(nullptr)"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937\b"), "mt19937"),
+]
+
+RAW_SYNC = [
+    (re.compile(r"\bstd::mutex\b"), "std::mutex"),
+    (re.compile(r"\bstd::timed_mutex\b"), "std::timed_mutex"),
+    (re.compile(r"\bstd::recursive_mutex\b"), "std::recursive_mutex"),
+    (re.compile(r"\bstd::shared_mutex\b"), "std::shared_mutex"),
+    (re.compile(r"\bstd::lock_guard\b"), "std::lock_guard"),
+    (re.compile(r"\bstd::unique_lock\b"), "std::unique_lock"),
+    (re.compile(r"\bstd::scoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\bstd::condition_variable\b"), "std::condition_variable"),
+]
+
+NEW_RE = re.compile(r"(^|[^_\w.>])new\b")
+DELETE_RE = re.compile(r"(^|[^_\w.])delete\b(\s*\[\s*\])?")
+# Both patterns are applied to the statement containing the `new` (the
+# current line plus up to two predecessors, [^;] keeping them from leaking
+# across statement boundaries): ownership must be taken in the same
+# statement, or the statement must be a never-destroyed static singleton.
+OWNED_NEW_RE = re.compile(
+    r"(unique_ptr|shared_ptr)\s*<[^;]*>(\s*\w+)?\s*\([^;]*\bnew\b")
+STATIC_INIT_RE = re.compile(r"\bstatic\b[^;]*=\s*[^;]*\bnew\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(lines):
+    """Returns lines with comments and string/char literals blanked out,
+    preserving line numbers and lengths-ish. Good enough for greps; this is
+    a lint, not a parser."""
+    out = []
+    in_block = False
+    for raw in lines:
+        result = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in ("\"", "'"):
+                quote = ch
+                result.append(quote)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                result.append(quote)
+                continue
+            result.append(ch)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def expected_guard(rel_path):
+    """MUBE_<PATH under its top-level dir>_H_ (src/opt/foo.h →
+    MUBE_OPT_FOO_H_; bench/bench_util.h → MUBE_BENCH_BENCH_UTIL_H_)."""
+    parts = rel_path.split("/")
+    if parts[0] == "src":
+        parts = parts[1:]
+    mangled = "_".join(parts)
+    mangled = re.sub(r"[^A-Za-z0-9]", "_", mangled)
+    return "MUBE_" + mangled.upper() + "_"
+
+
+def check_file(rel_path, raw_lines):
+    findings = []
+    code = strip_code(raw_lines)
+    is_header = rel_path.endswith(".h")
+    in_src = rel_path.startswith("src/")
+
+    def add(line_no, rule, message):
+        # clang-tidy-style suppression for the rare legitimate exception
+        # (e.g. a multi-line leaky singleton the static-initializer
+        # allowance can't see). Reviewed at code review, like any NOLINT.
+        raw = raw_lines[line_no - 1] if 0 < line_no <= len(raw_lines) else ""
+        if "NOLINT" in raw:
+            return
+        findings.append(Finding(rel_path, line_no, rule, message))
+
+    # --- nodiscard (anchor file only) ------------------------------------
+    if rel_path == "src/common/status.h":
+        text = "".join(raw_lines)
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+Status\b", text):
+            add(1, "nodiscard", "class Status lost its [[nodiscard]]")
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+Result\b", text):
+            add(1, "nodiscard", "class Result lost its [[nodiscard]]")
+
+    # --- randomness ------------------------------------------------------
+    if rel_path not in RANDOMNESS_ALLOWED:
+        for idx, line in enumerate(code, start=1):
+            for pattern, name in BANNED_RANDOMNESS:
+                if pattern.search(line):
+                    add(idx, "randomness",
+                        f"{name} outside common/random: use the seeded Rng")
+
+    # --- raw synchronization ---------------------------------------------
+    if rel_path not in RAW_SYNC_ALLOWED:
+        for idx, line in enumerate(code, start=1):
+            for pattern, name in RAW_SYNC:
+                if pattern.search(line):
+                    add(idx, "raw-sync",
+                        f"{name} outside common/threading.h: use the "
+                        "annotated Mutex/MutexLock/CondVar wrappers")
+
+    # --- naked new / delete ----------------------------------------------
+    for idx, line in enumerate(code, start=1):
+        if DELETE_RE.search(line) and "= delete" not in line:
+            add(idx, "naked-new", "delete expression: nothing in this "
+                "codebase owns raw memory")
+        if NEW_RE.search(line):
+            statement = " ".join(code[max(0, idx - 3):idx])
+            if (OWNED_NEW_RE.search(statement) or
+                    STATIC_INIT_RE.search(statement)):
+                continue
+            if re.search(r"\bmake_(unique|shared)\b", line):
+                continue
+            add(idx, "naked-new", "naked new: take ownership on the same "
+                "statement (smart pointer) or use a static singleton")
+
+    # --- header guards ----------------------------------------------------
+    if is_header:
+        text = "".join(raw_lines)
+        if "#pragma once" in text:
+            add(1, "header-guard", "#pragma once: use MUBE_*_H_ guards")
+        match = re.search(r"#ifndef\s+(\S+)\s*\n\s*#define\s+(\S+)", text)
+        if not match:
+            add(1, "header-guard", "missing #ifndef/#define header guard")
+        else:
+            want = expected_guard(rel_path)
+            if match.group(1) != want or match.group(2) != want:
+                add(1, "header-guard",
+                    f"guard is {match.group(1)}, expected {want}")
+
+    # --- include order (own header first, src/ only) ---------------------
+    if in_src and rel_path.endswith(".cc"):
+        own = rel_path[len("src/"):-len(".cc")] + ".h"
+        includes = []
+        for idx, line in enumerate(raw_lines, start=1):
+            m = re.match(r"\s*#include\s+([\"<][^\">]+[\">])", line)
+            if m:
+                includes.append((idx, m.group(1)))
+        quoted = [f'"{own}"']
+        if includes and includes[0][1] in quoted:
+            pass  # own header first: good
+        elif any(inc in quoted for _, inc in includes):
+            add(includes[0][0], "include-order",
+                f'own header "{own}" must be the first include')
+
+    return findings
+
+
+def lint_tree(root):
+    findings = []
+    for top in LINT_DIRS:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_path):
+            dirnames[:] = [d for d in dirnames if d != "testdata"]
+            for name in sorted(filenames):
+                if not name.endswith((".h", ".cc", ".cpp")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as f:
+                    findings.extend(check_file(rel, f.readlines()))
+    return findings
+
+
+def self_test(root):
+    """Every fixture in testdata/ declares its expected findings with
+    `LINT-EXPECT: <rule>` markers (on the offending line, inside a comment —
+    the rule engine never sees comments). The engine must produce exactly
+    the expected (line, rule) pairs per fixture: a missed finding means a
+    rule went blind, an extra one means it got trigger-happy."""
+    testdata = os.path.join(root, "tools", "lint", "testdata")
+    fixtures = sorted(
+        f for f in os.listdir(testdata) if f.endswith((".h", ".cc", ".cpp")))
+    if not fixtures:
+        print("self-test: no fixtures found", file=sys.stderr)
+        return 1
+    failures = 0
+    for name in fixtures:
+        path = os.path.join(testdata, name)
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.readlines()
+        # The first line may pin the path the fixture pretends to live at
+        # (guard and include-order rules are path-dependent).
+        pretend = re.match(r"//\s*LINT-PATH:\s*(\S+)", raw_lines[0])
+        rel = pretend.group(1) if pretend else f"src/lintfix/{name}"
+        expected = set()
+        for idx, line in enumerate(raw_lines, start=1):
+            for rule in re.findall(r"LINT-EXPECT:\s*([\w-]+)", line):
+                expected.add((idx if rule not in ("header-guard", "nodiscard")
+                              else 1, rule))
+        got = {(f.line, f.rule) for f in check_file(rel, raw_lines)}
+        missed = expected - got
+        extra = got - expected
+        for line_no, rule in sorted(missed):
+            print(f"self-test {name}:{line_no}: rule {rule} "
+                  "did not fire", file=sys.stderr)
+        for line_no, rule in sorted(extra):
+            print(f"self-test {name}:{line_no}: rule {rule} "
+                  "fired unexpectedly", file=sys.stderr)
+        failures += len(missed) + len(extra)
+    if failures:
+        print(f"self-test: {failures} failures", file=sys.stderr)
+        return 1
+    print(f"self-test: {len(fixtures)} fixtures OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels up from here)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule engine against testdata fixtures")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if args.self_test:
+        return self_test(root)
+    findings = lint_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"mube_lint: {len(findings)} findings", file=sys.stderr)
+        return 1
+    print("mube_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

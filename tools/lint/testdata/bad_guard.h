@@ -1,0 +1,10 @@
+// LINT-PATH: src/lintfix/bad_guard.h
+// Fixture: the guard must be MUBE_LINTFIX_BAD_GUARD_H_. LINT-EXPECT: header-guard
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace mube {
+int Nothing();
+}  // namespace mube
+
+#endif  // WRONG_GUARD_NAME_H

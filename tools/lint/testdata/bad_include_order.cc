@@ -1,0 +1,10 @@
+// LINT-PATH: src/opt/lint_fixture.cc
+// Fixture: a .cc file must include its own header first, so each header is
+// proven self-contained by its own translation unit.
+#include <vector>  // LINT-EXPECT: include-order
+
+#include "opt/lint_fixture.h"
+
+namespace mube {
+int Nothing() { return 0; }
+}  // namespace mube

@@ -1,0 +1,44 @@
+// LINT-PATH: src/lintfix/bad_new.cc
+// Fixture: unowned allocations and delete expressions must be flagged;
+// same-statement smart-pointer ownership and static singletons must not.
+#include "lintfix/bad_new.h"
+
+#include <memory>
+#include <string>
+
+namespace mube {
+
+struct Widget {
+  int x = 0;
+};
+
+Widget* Leak() {
+  return new Widget();  // LINT-EXPECT: naked-new
+}
+
+void Free(Widget* widget) {
+  delete widget;  // LINT-EXPECT: naked-new
+}
+
+void FreeMany(Widget* widgets) {
+  delete[] widgets;  // LINT-EXPECT: naked-new
+}
+
+std::unique_ptr<Widget> Owned() {
+  return std::unique_ptr<Widget>(new Widget());  // OK: owned immediately
+}
+
+std::unique_ptr<Widget> AlsoOwned() {
+  return std::make_unique<Widget>();  // OK
+}
+
+const std::string& Singleton() {
+  static const std::string* const kValue = new std::string("x");  // OK
+  return *kValue;
+}
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;  // OK: deleted function, not deallocation
+};
+
+}  // namespace mube

@@ -1,0 +1,26 @@
+// LINT-PATH: src/lintfix/bad_randomness.cc
+// Fixture: every banned randomness source must be flagged outside
+// common/random — ad-hoc entropy breaks fixed-seed reproducibility.
+#include "lintfix/bad_randomness.h"
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace mube {
+
+int Roll() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // LINT-EXPECT: randomness
+  return std::rand() % 6;                            // LINT-EXPECT: randomness
+}
+
+int Roll2() {
+  std::random_device device;                         // LINT-EXPECT: randomness
+  std::mt19937 gen(device());                        // LINT-EXPECT: randomness
+  return static_cast<int>(gen() % 6);
+}
+
+// A mention of std::rand in a comment must NOT be flagged.
+int Ok() { return 4; }  // chosen by fair std::rand() roll
+
+}  // namespace mube

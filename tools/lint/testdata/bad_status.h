@@ -1,0 +1,20 @@
+// LINT-PATH: src/common/status.h
+// Fixture: dropping [[nodiscard]] from Status or Result must be caught —
+// the whole ignored-error defense hangs on the attribute.
+// LINT-EXPECT: nodiscard
+#ifndef MUBE_COMMON_STATUS_H_
+#define MUBE_COMMON_STATUS_H_
+
+namespace mube {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] Result {};
+
+}  // namespace mube
+
+#endif  // MUBE_COMMON_STATUS_H_

@@ -1,0 +1,24 @@
+// LINT-PATH: src/lintfix/bad_sync.cc
+// Fixture: raw standard-library synchronization must be flagged — only the
+// annotated wrappers in common/threading.h are visible to -Wthread-safety.
+#include "lintfix/bad_sync.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace mube {
+
+std::mutex g_mu;                       // LINT-EXPECT: raw-sync
+std::condition_variable g_cv;          // LINT-EXPECT: raw-sync
+
+void Touch(int* value) {
+  std::lock_guard<std::mutex> lock(g_mu);  // LINT-EXPECT: raw-sync
+  ++*value;
+}
+
+void WaitFor(bool* flag) {
+  std::unique_lock<std::mutex> lock(g_mu);  // LINT-EXPECT: raw-sync
+  g_cv.wait(lock, [&] { return *flag; });
+}
+
+}  // namespace mube

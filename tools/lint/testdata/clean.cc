@@ -1,0 +1,28 @@
+// LINT-PATH: src/lintfix/clean.cc
+// Fixture: idiomatic code produces zero findings — seeded Rng, owned
+// allocations, annotated threading wrappers, NOLINT escape hatch.
+#include "lintfix/clean.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/threading.h"
+
+namespace mube {
+
+int SeededRoll(Rng* rng) { return static_cast<int>(rng->Uniform(6)); }
+
+std::unique_ptr<std::vector<int>> Owned() {
+  return std::make_unique<std::vector<int>>();
+}
+
+const std::vector<int>& MultiLineSingleton() {
+  static const std::vector<int>* const kValues =
+      new std::vector<int>(16, 0);  // NOLINT(naked-new): leaky singleton
+  return *kValues;
+}
+
+int Renewal(int renewed) { return renewed; }  // 'new' inside identifiers
+
+}  // namespace mube

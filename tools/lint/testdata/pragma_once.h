@@ -1,0 +1,9 @@
+// LINT-PATH: src/lintfix/pragma_once.h
+// Fixture: #pragma once and a missing #ifndef guard are both flagged.
+// LINT-EXPECT: header-guard
+// LINT-EXPECT: header-guard
+#pragma once
+
+namespace mube {
+int Nothing();
+}  // namespace mube
