@@ -60,6 +60,15 @@ struct MubeConfig {
   unsigned similarity_threads = 0;
   /// PCSA signature shape shared by all sources.
   PcsaConfig pcsa;
+  /// Optional interceptor of the engine's signature fetch path: every
+  /// sketch the SignatureCache builds (initially and on churn refresh)
+  /// passes through this hook, which returns what the source actually
+  /// shipped — the honest sketch, a corrupted one, or nullopt (no
+  /// signature). Null (the default) is the healthy path with zero
+  /// overhead. The reliability layer's MakeFaultySignatureFetch wires a
+  /// seeded FaultInjector in here, so corrupt-signature faults enter
+  /// through the same code path a real source's bad bytes would.
+  SignatureFetchHook signature_fetch_hook;
   /// Solver: "tabu" (default), "sls", "anneal", "pso", "exhaustive".
   std::string optimizer = "tabu";
   OptimizerOptions optimizer_options;

@@ -33,10 +33,102 @@ Result<std::unique_ptr<Mube>> Mube::Create(const Universe* universe,
   }
   mube->similarity_ = std::make_unique<SimilarityMatrix>(
       *universe, *mube->measure_, mube->config_.similarity_threads);
-  mube->signatures_ =
-      std::make_unique<SignatureCache>(*universe, mube->config_.pcsa);
+  mube->signatures_ = std::make_unique<SignatureCache>(
+      *universe, mube->config_.pcsa, mube->config_.signature_fetch_hook);
   mube->matcher_ = std::make_unique<Matcher>(*universe, *mube->similarity_);
   return mube;
+}
+
+Result<std::unique_ptr<Mube>> Mube::Fork(const Universe* universe) const {
+  if (universe == nullptr || universe->empty()) {
+    return Status::InvalidArgument("Fork: null or empty universe");
+  }
+  std::unique_ptr<Mube> fork(new Mube(universe, config_));
+  // The measure is recreated rather than shared: it is cheap (tfidf derives
+  // its corpus from the cloned universe, which is identical at fork time),
+  // and the fork must hold no references into the parent.
+  if (config_.similarity_measure == "tfidf_cosine") {
+    fork->measure_ = TfIdfCosineSimilarity::FromUniverse(*universe);
+  } else {
+    MUBE_ASSIGN_OR_RETURN(fork->measure_,
+                          MakeSimilarityMeasure(config_.similarity_measure));
+  }
+  // The expensive derived state is copied, not recomputed: the matrix is a
+  // flat float triangle, the signature cache deep-copies its sketches. This
+  // is what makes epoch forking affordable at serving rates.
+  fork->similarity_ = std::make_unique<SimilarityMatrix>(*similarity_);
+  fork->signatures_ = signatures_->Clone();
+  fork->matcher_ = std::make_unique<Matcher>(*universe, *fork->similarity_);
+  if (metrics_registry_ != nullptr) {
+    fork->AttachMetrics(metrics_registry_, metrics_prefix_);
+  }
+  return fork;
+}
+
+void Mube::AttachMetrics(MetricsRegistry* registry,
+                         const std::string& prefix) {
+  metrics_registry_ = registry;
+  metrics_prefix_ = prefix;
+  if (registry == nullptr) {
+    metrics_ = EngineMetrics();
+    return;
+  }
+  const std::string& p = prefix;
+  metrics_.runs = registry->GetCounter(p + "_runs_total",
+                                       "engine iterations executed");
+  metrics_.evaluations =
+      registry->GetCounter(p + "_optimizer_evaluations_total",
+                           "solution evaluations spent by the optimizer");
+  metrics_.match_calls = registry->GetCounter(
+      p + "_match_calls_total", "Match(S) requests (memoized or not)");
+  metrics_.match_memo_hits = registry->GetCounter(
+      p + "_match_memo_hits_total", "Match(S) answered from the memo");
+  metrics_.match_memo_misses = registry->GetCounter(
+      p + "_match_memo_misses_total", "Match(S) actually executed");
+  metrics_.union_memo_hits = registry->GetCounter(
+      p + "_union_memo_hits_total", "sketch-union estimates from the memo");
+  metrics_.union_memo_misses = registry->GetCounter(
+      p + "_union_memo_misses_total", "sketch-union estimates merged fresh");
+  metrics_.union_memo_evictions = registry->GetCounter(
+      p + "_union_memo_evictions_total", "union memo entries evicted by cap");
+  metrics_.union_memo_invalidations =
+      registry->GetCounter(p + "_union_memo_invalidations_total",
+                           "union memo entries invalidated by churn");
+  metrics_.measure_calls = registry->GetCounter(
+      p + "_measure_calls_total",
+      "pairwise similarity evaluations (build + churn maintenance)");
+  metrics_.churn_batches = registry->GetCounter(
+      p + "_churn_batches_total", "churn deltas applied to derived state");
+  metrics_.churn_delta_sources = registry->GetHistogram(
+      p + "_churn_delta_sources",
+      Histogram::ExponentialBuckets(1.0, 2.0, 12),
+      "dirty sources per applied churn delta");
+  metrics_.run_seconds = registry->GetHistogram(
+      p + "_run_seconds", Histogram::ExponentialBuckets(0.001, 2.0, 16),
+      "wall-clock seconds per engine Run");
+  // The initial similarity build already spent its measure calls; credit
+  // them now so the counter reflects total work, not just churn deltas.
+  metrics_.measure_calls->Increment(similarity_->last_measure_calls());
+  MutexLock lock(&scrape_mu_);
+  last_union_stats_ = signatures_->memo_stats();
+}
+
+void Mube::ScrapeUnionMemo() const {
+  if (metrics_.union_memo_hits == nullptr) return;
+  // The cache counters are engine-cumulative and shared across concurrent
+  // Runs; fold only the delta since the previous scrape so the registry's
+  // totals stay exact under any interleaving. The snapshot is taken under
+  // scrape_mu_ so two concurrent scrapes cannot apply out of order (which
+  // would underflow the unsigned deltas).
+  MutexLock lock(&scrape_mu_);
+  const SignatureCache::MemoStats now = signatures_->memo_stats();
+  metrics_.union_memo_hits->Increment(now.hits - last_union_stats_.hits);
+  metrics_.union_memo_misses->Increment(now.misses - last_union_stats_.misses);
+  metrics_.union_memo_evictions->Increment(now.evictions -
+                                           last_union_stats_.evictions);
+  metrics_.union_memo_invalidations->Increment(
+      now.invalidations - last_union_stats_.invalidations);
+  last_union_stats_ = now;
 }
 
 Result<MubeResult> Mube::Run(const RunSpec& spec) const {
@@ -154,6 +246,13 @@ Result<MubeResult> Mube::Run(const RunSpec& spec) const {
   problem.max_sources = max_sources;
   MUBE_RETURN_IF_ERROR(problem.Validate());
 
+  // When nobody asked for a trace, attach a local one anyway so the
+  // evaluations metric reads the optimizer's budget meter directly.
+  SearchTrace local_trace;
+  if (opt_options.trace == nullptr && metrics_.runs != nullptr) {
+    opt_options.trace = &local_trace;
+  }
+
   MUBE_ASSIGN_OR_RETURN(std::unique_ptr<Optimizer> optimizer,
                         MakeOptimizer(optimizer_name, opt_options));
   MUBE_ASSIGN_OR_RETURN(SolutionEval best, optimizer->Run(problem));
@@ -166,6 +265,21 @@ Result<MubeResult> Mube::Run(const RunSpec& spec) const {
     result.qef_names.push_back(qspec.DisplayName());
   }
   if (use_health) result.qef_names.push_back("health");
+
+  if (metrics_.runs != nullptr) {
+    metrics_.runs->Increment();
+    if (opt_options.trace != nullptr) {
+      metrics_.evaluations->Increment(opt_options.trace->evaluations);
+    }
+    // The match memo is per-run (fresh QEF each Run), so its cumulative
+    // stats ARE this run's contribution — no delta-scraping needed.
+    const MatchQualityQef::MemoStats match_stats = match_qef_ptr->memo_stats();
+    metrics_.match_calls->Increment(match_stats.hits + match_stats.misses);
+    metrics_.match_memo_hits->Increment(match_stats.hits);
+    metrics_.match_memo_misses->Increment(match_stats.misses);
+    ScrapeUnionMemo();
+    metrics_.run_seconds->Observe(result.elapsed_seconds);
+  }
   return result;
 }
 
@@ -183,11 +297,19 @@ Status Mube::ApplyDelta(const ChurnDelta& delta) {
                             config_.similarity_threads);
   }
   signatures_->ApplyChurn(*universe_, delta.DirtyDataSources());
+  if (metrics_.churn_batches != nullptr) {
+    metrics_.churn_batches->Increment();
+    metrics_.churn_delta_sources->Observe(
+        static_cast<double>(delta.DirtySchemaSources().size()));
+    metrics_.measure_calls->Increment(similarity_->last_measure_calls());
+    ScrapeUnionMemo();  // churn invalidations land in the registry promptly
+  }
   return Status::OK();
 }
 
 Result<std::vector<MubeResult>> Mube::RunAlternatives(
-    const RunSpec& spec, size_t attempts) const {
+    const RunSpec& spec, size_t attempts,
+    const std::vector<AlternativeSeed>& warm_seeds) const {
   if (attempts == 0) {
     return Status::InvalidArgument("RunAlternatives: attempts must be >= 1");
   }
@@ -199,6 +321,15 @@ Result<std::vector<MubeResult>> Mube::RunAlternatives(
   for (size_t i = 0; i < attempts; ++i) {
     RunSpec attempt = spec;
     attempt.seed = base_seed + i * 0x9e3779b9ULL;
+    if (i < warm_seeds.size() && !warm_seeds[i].initial_solution.empty()) {
+      // This slot resumes from its own previous incumbent (ReOptimizer-
+      // planned after churn); the per-attempt seed still differs, so warm
+      // members explore different neighborhoods of their start points.
+      attempt.initial_solution = warm_seeds[i].initial_solution;
+      if (warm_seeds[i].max_evaluations > 0) {
+        attempt.max_evaluations = warm_seeds[i].max_evaluations;
+      }
+    }
     Result<MubeResult> result = Run(attempt);
     if (!result.ok()) {
       last_error = result.status();

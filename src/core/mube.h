@@ -7,8 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+#include "common/threading.h"
 #include "core/config.h"
 #include "match/matcher.h"
+#include "metrics/metrics.h"
 #include "opt/problem.h"
 #include "schema/mediated_schema.h"
 #include "schema/universe.h"
@@ -90,6 +93,18 @@ class Mube {
   /// Solves one iteration's problem.
   Result<MubeResult> Run(const RunSpec& spec) const;
 
+  /// \brief Per-portfolio-member warm start for RunAlternatives: seed
+  /// attempt i from its own previous incumbent with a reduced budget, the
+  /// way the ReOptimizer warm-starts the main run after churn.
+  struct AlternativeSeed {
+    /// Previous incumbent of this portfolio slot (repaired, not trusted —
+    /// same WarmStartSubset rules as RunSpec::initial_solution). Empty =
+    /// this slot starts cold.
+    std::vector<uint32_t> initial_solution;
+    /// Evaluation budget for this slot; 0 = keep the spec's budget.
+    size_t max_evaluations = 0;
+  };
+
   /// Runs a portfolio of `attempts` independently seeded searches and
   /// returns the distinct solutions found, best first (at most `attempts`,
   /// fewer after dedup). Exploration aid for the §6 loop: near-optimal
@@ -97,8 +112,35 @@ class Mube {
   /// source, a different variant family), and showing the user several is
   /// how a best-effort tool earns trust. Fails only if every attempt
   /// fails; individual infeasible attempts are dropped.
-  Result<std::vector<MubeResult>> RunAlternatives(const RunSpec& spec,
-                                                  size_t attempts) const;
+  ///
+  /// `warm_seeds` (optional) warm-starts portfolio member i from
+  /// warm_seeds[i]: after small churn each member resumes from its own
+  /// previous incumbent instead of re-solving from scratch (Session plans
+  /// the seeds via ReOptimizer). Members beyond warm_seeds.size() — and
+  /// members whose seed is empty — run cold under the spec's budget.
+  Result<std::vector<MubeResult>> RunAlternatives(
+      const RunSpec& spec, size_t attempts,
+      const std::vector<AlternativeSeed>& warm_seeds = {}) const;
+
+  /// Forks the engine onto `universe`, which must hold content identical to
+  /// this engine's universe at fork time (the serving layer clones the
+  /// catalog first — see Universe::Clone). The fork copies the similarity
+  /// matrix and clones the signature cache instead of recomputing them, so
+  /// forking costs a memcpy of derived state rather than O(|A|²) similarity
+  /// calls or a re-scan of source data; the caller then applies churn to
+  /// the fork via ApplyDelta. The metrics registry attachment is shared.
+  /// This is the copy-on-write step of the epoch snapshot manager.
+  Result<std::unique_ptr<Mube>> Fork(const Universe* universe) const;
+
+  /// Attaches a metrics registry: Run/ApplyDelta then record the engine's
+  /// hot-path counters (Match(S) memo hits/misses, sketch-union memo
+  /// hits/misses, similarity measure calls, optimizer evaluations, run
+  /// latency, churn delta sizes) under `prefix` (e.g. "mube"). The
+  /// registry must outlive the engine. Call before the first Run; the
+  /// instrumentation resolves its handles once, so the hot path performs
+  /// no registry lookups. Null detaches.
+  void AttachMetrics(MetricsRegistry* registry,
+                     const std::string& prefix = "mube");
 
   /// Reconciles the engine's derived state (similarity matrix, signature
   /// cache) with a universe that was mutated by churn, incrementally:
@@ -118,12 +160,41 @@ class Mube {
  private:
   Mube(const Universe* universe, MubeConfig config);
 
+  /// Resolved metric handles — one registry lookup each at AttachMetrics,
+  /// zero on the hot path. All pointers null when metrics are detached.
+  struct EngineMetrics {
+    Counter* runs = nullptr;
+    Counter* evaluations = nullptr;
+    Counter* match_calls = nullptr;
+    Counter* match_memo_hits = nullptr;
+    Counter* match_memo_misses = nullptr;
+    Counter* union_memo_hits = nullptr;
+    Counter* union_memo_misses = nullptr;
+    Counter* union_memo_evictions = nullptr;
+    Counter* union_memo_invalidations = nullptr;
+    Counter* measure_calls = nullptr;
+    Counter* churn_batches = nullptr;
+    Histogram* churn_delta_sources = nullptr;
+    Histogram* run_seconds = nullptr;
+  };
+
+  /// Folds the engine-cumulative union-memo counters into the registry as
+  /// deltas since the previous scrape (Run may be called concurrently from
+  /// many serving workers; the scrape state is lock-protected).
+  void ScrapeUnionMemo() const;
+
   const Universe* universe_;
   MubeConfig config_;
   std::unique_ptr<SimilarityMeasure> measure_;
   std::unique_ptr<SimilarityMatrix> similarity_;
   std::unique_ptr<SignatureCache> signatures_;
   std::unique_ptr<Matcher> matcher_;
+
+  MetricsRegistry* metrics_registry_ = nullptr;
+  std::string metrics_prefix_;
+  EngineMetrics metrics_;
+  mutable Mutex scrape_mu_;
+  mutable SignatureCache::MemoStats last_union_stats_ GUARDED_BY(scrape_mu_);
 };
 
 }  // namespace mube

@@ -191,7 +191,78 @@ Result<MubeResult> Session::Iterate() {
   history_.push_back(std::move(result));
   // A full fresh solve accounts for all catalog changes so far.
   pending_churn_ = ChurnDelta();
+  if (metrics_.iterations != nullptr) metrics_.iterations->Increment();
   return history_.back();
+}
+
+Result<std::vector<MubeResult>> Session::IterateAlternatives(
+    size_t attempts) {
+  std::vector<Mube::AlternativeSeed> seeds;
+  if (!alternative_incumbents_.empty()) {
+    const bool churned = !pending_churn_.empty();
+    const ReOptimizer planner(reopt_options_);
+    const size_t slots = std::min(attempts, alternative_incumbents_.size());
+    for (size_t i = 0; i < slots; ++i) {
+      Mube::AlternativeSeed seed;
+      if (churned) {
+        // Each member gets its own warm/cold plan: the churn may have
+        // gutted one incumbent (→ cold) while barely touching another.
+        const ReOptimizePlan plan = planner.Plan(
+            mube_->universe(), pending_churn_, alternative_incumbents_[i],
+            mube_->config().optimizer_options.max_evaluations);
+        if (plan.warm) {
+          seed.initial_solution = plan.initial_solution;
+          seed.max_evaluations = plan.max_evaluations;
+        }
+        if (metrics_.reiterate_warm != nullptr) {
+          (plan.warm ? metrics_.reiterate_warm : metrics_.reiterate_cold)
+              ->Increment();
+          metrics_.reopt_budget->Observe(
+              static_cast<double>(plan.max_evaluations));
+          metrics_.reopt_churn_fraction->Observe(plan.churn_fraction);
+        }
+      } else {
+        // No churn: resume from the incumbent under the full budget — the
+        // cheapest way to deepen each alternative's neighborhood.
+        seed.initial_solution = alternative_incumbents_[i];
+      }
+      seeds.push_back(std::move(seed));
+    }
+  }
+  MUBE_ASSIGN_OR_RETURN(std::vector<MubeResult> results,
+                        mube_->RunAlternatives(BuildRunSpec(), attempts,
+                                               seeds));
+  alternative_incumbents_.clear();
+  for (const MubeResult& result : results) {
+    alternative_incumbents_.push_back(result.solution.sources);
+  }
+  return results;
+}
+
+void Session::SetMetrics(MetricsRegistry* registry,
+                         const std::string& prefix) {
+  mube_->AttachMetrics(registry, prefix);
+  if (registry == nullptr) {
+    metrics_ = SessionMetrics();
+    return;
+  }
+  const std::string p = prefix + "_session";
+  metrics_.iterations = registry->GetCounter(
+      p + "_iterations_total", "committed session iterations");
+  metrics_.reiterate_warm = registry->GetCounter(
+      p + "_reopt_warm_total", "re-optimizations planned warm");
+  metrics_.reiterate_cold = registry->GetCounter(
+      p + "_reopt_cold_total", "re-optimizations planned cold");
+  metrics_.churn_events = registry->GetCounter(
+      p + "_churn_events_total", "churn events applied to the catalog");
+  metrics_.reopt_budget = registry->GetHistogram(
+      p + "_reopt_budget_evaluations",
+      Histogram::ExponentialBuckets(100.0, 2.0, 10),
+      "evaluation budget granted by the re-optimization planner");
+  metrics_.reopt_churn_fraction = registry->GetHistogram(
+      p + "_reopt_churn_fraction",
+      {0.01, 0.02, 0.05, 0.1, 0.2, 0.25, 0.5, 1.0},
+      "churn fraction the warm/cold decision was based on");
 }
 
 Status Session::ApplyChurn(const std::vector<ChurnEvent>& events) {
@@ -210,6 +281,9 @@ Status Session::ApplyChurn(const std::vector<ChurnEvent>& events) {
     PruneStaleConstraints();
     pending_churn_.MergeFrom(delta);
     for (size_t i = 0; i < applied; ++i) churn_log_.Append(events[i]);
+    if (metrics_.churn_events != nullptr) {
+      metrics_.churn_events->Increment(applied);
+    }
   }
   return status;
 }
@@ -225,9 +299,17 @@ Result<MubeResult> Session::ReIterate() {
     spec.initial_solution = plan.initial_solution;
     spec.max_evaluations = plan.max_evaluations;
   }
+  if (metrics_.reiterate_warm != nullptr) {
+    (plan.warm ? metrics_.reiterate_warm : metrics_.reiterate_cold)
+        ->Increment();
+    metrics_.reopt_budget->Observe(
+        static_cast<double>(plan.max_evaluations));
+    metrics_.reopt_churn_fraction->Observe(plan.churn_fraction);
+  }
   MUBE_ASSIGN_OR_RETURN(MubeResult result, mube_->Run(spec));
   history_.push_back(std::move(result));
   pending_churn_ = ChurnDelta();
+  if (metrics_.iterations != nullptr) metrics_.iterations->Increment();
   return history_.back();
 }
 

@@ -79,6 +79,26 @@ class Session {
   /// the result to history().
   Result<MubeResult> Iterate();
 
+  /// Runs a portfolio of `attempts` alternative searches under the current
+  /// constraint state (see Mube::RunAlternatives) and remembers each
+  /// returned solution as its portfolio slot's incumbent. The next call
+  /// warm-starts slot i from that incumbent: directly when the catalog is
+  /// unchanged, or through a per-slot ReOptimizer plan when churn is
+  /// pending (each member's incumbent is repaired and budget-scaled
+  /// independently — a member that lost sources to churn may restart cold
+  /// while its siblings stay warm). Exploratory: does NOT touch history()
+  /// or clear pending churn, so a following ReIterate() still plans
+  /// against the full churn since the last committed iteration.
+  Result<std::vector<MubeResult>> IterateAlternatives(size_t attempts);
+
+  /// Attaches a metrics registry to this session and its engine: iteration
+  /// counts, warm/cold re-optimization decisions, planned re-optimization
+  /// budgets, churn event counts, alongside the engine's own hot-path
+  /// metrics (see Mube::AttachMetrics). The registry must outlive the
+  /// session. Null detaches.
+  void SetMetrics(MetricsRegistry* registry,
+                  const std::string& prefix = "mube");
+
   /// \name Source churn (requires the DeltaUniverse constructor)
   /// @{
   /// Applies a batch of churn events to the catalog, incrementally
@@ -188,11 +208,25 @@ class Session {
   /// Assembles the RunSpec for the current constraint state and knobs.
   RunSpec BuildRunSpec() const;
 
+  /// Resolved session-level metric handles (all null when detached).
+  struct SessionMetrics {
+    Counter* iterations = nullptr;
+    Counter* reiterate_warm = nullptr;
+    Counter* reiterate_cold = nullptr;
+    Counter* churn_events = nullptr;
+    Histogram* reopt_budget = nullptr;
+    Histogram* reopt_churn_fraction = nullptr;
+  };
+
   std::unique_ptr<Mube> mube_;
   DeltaUniverse* delta_universe_ = nullptr;  // null = static catalog
   ChurnDelta pending_churn_;
   ChurnLog churn_log_;
   ReOptimizerOptions reopt_options_;
+  /// Last IterateAlternatives solutions, one per portfolio slot, best
+  /// first — next call's warm-start incumbents.
+  std::vector<std::vector<uint32_t>> alternative_incumbents_;
+  SessionMetrics metrics_;
   std::vector<uint32_t> pinned_sources_;  // sorted
   MediatedSchema ga_constraints_;
   std::vector<double> weights_;  // empty = config defaults

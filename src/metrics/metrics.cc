@@ -1,0 +1,212 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mube {
+
+namespace {
+
+/// Each thread takes the next slot once and keeps it for life; threads are
+/// spread round-robin over the shards regardless of how the runtime hashes
+/// thread ids.
+std::atomic<size_t>& ThreadSlotCounter() {
+  static std::atomic<size_t> counter{0};
+  return counter;
+}
+
+size_t ThisThreadSlot() {
+  static thread_local size_t slot =
+      ThreadSlotCounter().fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+/// Fixed-format double rendering so exposition output is locale-proof and
+/// byte-stable across platforms.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() { return ThisThreadSlot() % kShards; }
+
+void Counter::Increment(uint64_t delta) {
+  Shard& shard = shards_[ShardIndex()];
+  MutexLock lock(&shard.mu);
+  shard.value += delta;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    total += shard.value;
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  MUBE_CHECK(!upper_bounds_.empty());
+  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+    MUBE_CHECK(std::isfinite(upper_bounds_[i]));
+    if (i > 0) MUBE_CHECK(upper_bounds_[i] > upper_bounds_[i - 1]);
+  }
+  for (Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    shard.buckets.assign(upper_bounds_.size() + 1, 0);  // +1: +Inf
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; past-the-end = +Inf.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+  Shard& shard = shards_[ThisThreadSlot() % kShards];
+  MutexLock lock(&shard.mu);
+  ++shard.buckets[bucket];
+  ++shard.count;
+  shard.sum += value;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.bucket_counts.assign(upper_bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    for (size_t i = 0; i < shard.buckets.size(); ++i) {
+      snap.bucket_counts[i] += shard.buckets[i];
+    }
+    snap.count += shard.count;
+    snap.sum += shard.sum;
+  }
+  return snap;
+}
+
+double Histogram::Quantile(double q) const {
+  const Snapshot snap = TakeSnapshot();
+  if (snap.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(snap.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = snap.bucket_counts[i];
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= snap.upper_bounds.size()) {
+      // +Inf bucket: clamp to the largest finite bound.
+      return snap.upper_bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : snap.upper_bounds[i - 1];
+    const double upper = snap.upper_bounds[i];
+    if (in_bucket == 0) return upper;
+    const double within =
+        (rank - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+  }
+  return snap.upper_bounds.back();
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  size_t count) {
+  MUBE_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  MUBE_CHECK(IsValidMetricName(name));
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.help = help;
+    entry.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  MUBE_CHECK(it->second.counter != nullptr);  // name already a histogram?
+  return it->second.counter.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds,
+                                         const std::string& help) {
+  MUBE_CHECK(IsValidMetricName(name));
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.help = help;
+    entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  MUBE_CHECK(it->second.histogram != nullptr);  // name already a counter?
+  return it->second.histogram.get();
+}
+
+size_t MetricsRegistry::size() const {
+  MutexLock lock(&mu_);
+  return metrics_.size();
+}
+
+std::string MetricsRegistry::Expose() const {
+  std::ostringstream out;
+  MutexLock lock(&mu_);
+  // std::map iterates in name order, which is the promised determinism.
+  for (const auto& [name, entry] : metrics_) {
+    if (!entry.help.empty()) {
+      out << "# HELP " << name << " " << entry.help << "\n";
+    }
+    if (entry.counter != nullptr) {
+      out << "# TYPE " << name << " counter\n";
+      out << name << " " << entry.counter->Value() << "\n";
+    } else {
+      out << "# TYPE " << name << " histogram\n";
+      const Histogram::Snapshot snap = entry.histogram->TakeSnapshot();
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < snap.upper_bounds.size(); ++i) {
+        cumulative += snap.bucket_counts[i];
+        out << name << "_bucket{le=\"" << FormatDouble(snap.upper_bounds[i])
+            << "\"} " << cumulative << "\n";
+      }
+      cumulative += snap.bucket_counts.back();
+      out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+      out << name << "_sum " << FormatDouble(snap.sum) << "\n";
+      out << name << "_count " << snap.count << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mube

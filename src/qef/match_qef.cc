@@ -20,7 +20,11 @@ const MatchResult& MatchQualityQef::MatchFor(
   {
     MutexLock lock(&shard.mu);
     auto it = shard.results.find(key);
-    if (it != shard.results.end()) return it->second;
+    if (it != shard.results.end()) {
+      ++shard.hits;
+      return it->second;
+    }
+    ++shard.misses;
   }
 
   // Match runs outside the lock — it is the expensive part, and it only
@@ -54,6 +58,16 @@ size_t MatchQualityQef::cache_size() const {
     total += shard.results.size();
   }
   return total;
+}
+
+MatchQualityQef::MemoStats MatchQualityQef::memo_stats() const {
+  MemoStats stats;
+  for (const CacheShard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+  }
+  return stats;
 }
 
 }  // namespace mube

@@ -60,6 +60,16 @@ class MatchQualityQef : public Qef {
   /// Number of distinct subsets evaluated so far (cache size).
   size_t cache_size() const;
 
+  /// Memo health of the Match(S) cache — the matcher-side twin of
+  /// SignatureCache::memo_stats, scraped into the metrics registry by
+  /// Mube::Run. hits + misses = total Match(S) evaluations requested;
+  /// misses = Match actually executed (the paper's dominant cost).
+  struct MemoStats {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+  MemoStats memo_stats() const;
+
  private:
   /// Sharded like SignatureCache's union memo and for the same reason: the
   /// parallel neighborhood evaluation hammers this cache from every worker.
@@ -67,6 +77,8 @@ class MatchQualityQef : public Qef {
   struct CacheShard {
     mutable Mutex mu;
     std::unordered_map<uint64_t, MatchResult> results GUARDED_BY(mu);
+    size_t hits GUARDED_BY(mu) = 0;
+    size_t misses GUARDED_BY(mu) = 0;
   };
   static size_t ShardOf(uint64_t fingerprint) {
     return (fingerprint >> 58) % kCacheShards;

@@ -94,4 +94,26 @@ FaultOutcome FaultInjector::NextOutcome(uint32_t source_id,
   return outcome;
 }
 
+SignatureFetchHook MakeFaultySignatureFetch(FaultInjector* injector) {
+  return [injector](uint32_t source_id,
+                    PcsaSketch built) -> std::optional<PcsaSketch> {
+    const FaultOutcome outcome = injector->NextSignatureOutcome(source_id);
+    switch (outcome.kind) {
+      case FaultKind::kNone:
+        return built;
+      case FaultKind::kCorruptSignature:
+        // The source shipped bytes, but wrong ones: same shape, silently
+        // perturbed content (deterministic per schedule position).
+        return built.CorruptedCopy(outcome.corruption_seed);
+      case FaultKind::kHardDown:
+      case FaultKind::kTransient:
+      case FaultKind::kTimeout:
+        // No signature arrived — the source is uncooperative for this
+        // build and is skipped in union estimates (§4 semantics).
+        return std::nullopt;
+    }
+    return built;
+  };
+}
+
 }  // namespace mube

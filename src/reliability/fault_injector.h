@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "sketch/pcsa.h"
+
 /// \file fault_injector.h
 /// Deterministic, seeded fault injection for source interactions. The paper
 /// motivates µBE with Internet-scale sources that are slow, uncooperative,
@@ -116,6 +118,23 @@ class FaultInjector {
   std::unordered_map<uint32_t, FaultProfile> profiles_;
   std::unordered_map<uint32_t, uint64_t> attempt_counts_;
 };
+
+/// \brief Adapts a FaultInjector into the engine's signature fetch path
+/// (MubeConfig::signature_fetch_hook): every sketch the SignatureCache
+/// builds — at engine construction and at every churn-driven refresh — is
+/// filtered through the injector's per-source schedule. A corrupt-signature
+/// draw ships a deterministically corrupted copy of the honest sketch; a
+/// hard-down, transient, or timed-out draw ships nothing (the source is
+/// uncooperative for this build; a later churn refresh redraws the
+/// schedule). This replaces the old cache-boundary modeling
+/// (SignatureCache::OverrideSketch with a hand-corrupted sketch): the fault
+/// now enters through the same code path a real source's bad bytes would,
+/// so memo invalidation, the coverage denominator, and cooperative counts
+/// are exercised exactly as in production. `injector` must outlive every
+/// engine the returned hook is installed in; the hook mutates the
+/// injector's schedule position, so builds must not run concurrently with
+/// other users of the same injector.
+SignatureFetchHook MakeFaultySignatureFetch(FaultInjector* injector);
 
 }  // namespace mube
 

@@ -6,6 +6,17 @@
 
 namespace mube {
 
+Universe Universe::Clone() const {
+  Universe copy;
+  copy.sources_ = sources_;
+  copy.alive_ = alive_;
+  copy.alive_count_ = alive_count_;
+  copy.attr_offsets_ = attr_offsets_;
+  copy.total_attrs_ = total_attrs_;
+  copy.total_cardinality_ = total_cardinality_;
+  return copy;
+}
+
 uint32_t Universe::AddSource(Source source) {
   const uint32_t id = static_cast<uint32_t>(sources_.size());
   source.id_ = id;

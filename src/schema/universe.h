@@ -39,6 +39,14 @@ class Universe {
   Universe(Universe&&) = default;
   Universe& operator=(Universe&&) = default;
 
+  /// Explicit deep copy — the one deliberate way to duplicate a catalog.
+  /// The epoch-based snapshot layer (src/serving) clones the current
+  /// universe, applies churn to the clone, and publishes it while readers
+  /// keep using the original; ids, tombstones, and the attribute index are
+  /// preserved bit-for-bit so every derived structure remains valid against
+  /// the clone.
+  Universe Clone() const;
+
   /// Adds a source and assigns it the next dense id (overwriting any id the
   /// caller set). Returns the assigned id. Sources should be fully built
   /// (attributes + tuples) before insertion; if one is mutated afterwards

@@ -1,0 +1,237 @@
+#include "serving/service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mube {
+
+bool ResponseFuture::Ready() const {
+  MUBE_CHECK(state_ != nullptr);
+  MutexLock lock(&state_->mu);
+  return state_->done;
+}
+
+RefineResponse ResponseFuture::Wait() const {
+  MUBE_CHECK(state_ != nullptr);
+  MutexLock lock(&state_->mu);
+  while (!state_->done) state_->cv.Wait(&state_->mu);
+  return state_->response;
+}
+
+Result<std::unique_ptr<MubeService>> MubeService::Create(
+    const Universe& universe, MubeConfig config, ServiceOptions options,
+    MetricsRegistry* registry) {
+  if (options.queue_capacity == 0 || options.max_batch == 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions: queue_capacity and max_batch must be >= 1");
+  }
+  std::unique_ptr<MubeService> service(new MubeService(options));
+  MUBE_ASSIGN_OR_RETURN(
+      service->snapshots_,
+      SnapshotManager::Create(universe, std::move(config), registry));
+  service->pool_ = std::make_unique<ThreadPool>(options.worker_threads);
+  if (registry != nullptr) {
+    service->requests_total_ = registry->GetCounter(
+        "serving_requests_total", "requests admitted to the queue");
+    service->requests_rejected_ = registry->GetCounter(
+        "serving_requests_rejected_total",
+        "requests rejected by admission control");
+    service->requests_failed_ = registry->GetCounter(
+        "serving_requests_failed_total",
+        "served requests that returned a non-OK status");
+    service->batches_total_ = registry->GetCounter(
+        "serving_batches_total", "dispatcher batches executed");
+    service->batch_size_ = registry->GetHistogram(
+        "serving_batch_size", {1, 2, 4, 8, 16, 32, 64},
+        "requests per snapshot lease");
+    service->queue_seconds_ = registry->GetHistogram(
+        "serving_queue_seconds",
+        Histogram::ExponentialBuckets(0.0001, 4.0, 10),
+        "time from Submit to dispatch");
+    service->request_run_seconds_ = registry->GetHistogram(
+        "serving_request_run_seconds",
+        Histogram::ExponentialBuckets(0.001, 2.0, 14),
+        "engine time per served request");
+    service->staleness_epochs_ = registry->GetHistogram(
+        "serving_staleness_epochs", {0, 1, 2, 4, 8, 16},
+        "epochs published between serving and completing a request");
+  }
+  service->dispatcher_ = std::thread([svc = service.get()] {
+    svc->DispatcherLoop();
+  });
+  return service;
+}
+
+MubeService::~MubeService() { Stop(); }
+
+Result<Tenant*> MubeService::RegisterTenant(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("tenant name must be non-empty");
+  }
+  MutexLock lock(&tenants_mu_);
+  auto [it, inserted] =
+      tenants_.try_emplace(name, std::make_unique<Tenant>(name));
+  if (!inserted) {
+    return Status::AlreadyExists("tenant '" + name + "' already registered");
+  }
+  return it->second.get();
+}
+
+Tenant* MubeService::FindTenant(const std::string& name) const {
+  MutexLock lock(&tenants_mu_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+Result<ResponseFuture> MubeService::Submit(RefineRequest request) {
+  if (FindTenant(request.tenant) == nullptr) {
+    return Status::NotFound("unknown tenant '" + request.tenant + "'");
+  }
+  ResponseFuture future;
+  future.state_ = std::make_shared<ResponseFuture::State>();
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) {
+      if (requests_rejected_ != nullptr) requests_rejected_->Increment();
+      return Status::Unavailable("service is stopping");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      if (requests_rejected_ != nullptr) requests_rejected_->Increment();
+      return Status::Unavailable("request queue is full");
+    }
+    queue_.push_back(Pending{std::move(request), future.state_, WallTimer()});
+  }
+  work_cv_.Signal();
+  if (requests_total_ != nullptr) requests_total_->Increment();
+  return future;
+}
+
+RefineResponse MubeService::Refine(RefineRequest request) {
+  Result<ResponseFuture> submitted = Submit(std::move(request));
+  if (!submitted.ok()) {
+    RefineResponse response;
+    response.status = submitted.status();
+    return response;
+  }
+  return submitted.ValueOrDie().Wait();
+}
+
+Status MubeService::ApplyChurn(const std::vector<ChurnEvent>& events) {
+  return snapshots_->ApplyChurn(events);
+}
+
+void MubeService::Drain() {
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || in_flight_ > 0) idle_cv_.Wait(&mu_);
+}
+
+void MubeService::Stop() {
+  {
+    MutexLock lock(&mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  work_cv_.SignalAll();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void MubeService::DispatcherLoop() {
+  std::vector<Pending> batch;
+  while (true) {
+    batch.clear();
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !stopping_) work_cv_.Wait(&mu_);
+      // A stopping service still drains what was admitted: Submit stopped
+      // accepting, so this terminates.
+      if (queue_.empty() && stopping_) return;
+      while (!queue_.empty() && batch.size() < options_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += batch.size();
+    }
+    ServeBatch(&batch);
+    {
+      MutexLock lock(&mu_);
+      in_flight_ -= batch.size();
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.SignalAll();
+    }
+  }
+}
+
+void MubeService::ServeBatch(std::vector<Pending>* batch) {
+  // One lease for the whole batch: every request in it reads the same
+  // epoch, and churn published meanwhile targets the *next* batch.
+  const SnapshotManager::Lease lease = snapshots_->Acquire();
+  if (batches_total_ != nullptr) {
+    batches_total_->Increment();
+    batch_size_->Observe(static_cast<double>(batch->size()));
+  }
+  std::vector<RefineResponse> responses(batch->size());
+  // The dispatcher participates in its own batch (help-while-wait pool);
+  // responses are addressed by index, so the fan-out is race-free.
+  pool_->ParallelFor(batch->size(), [&](size_t i) {
+    responses[i] = ServeOne((*batch)[i], lease);
+  });
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (requests_failed_ != nullptr && !responses[i].status.ok()) {
+      requests_failed_->Increment();
+    }
+    Fulfill((*batch)[i].state, std::move(responses[i]));
+  }
+}
+
+RefineResponse MubeService::ServeOne(const Pending& pending,
+                                     const SnapshotManager::Lease& lease) {
+  RefineResponse response;
+  response.queue_seconds = pending.queued.ElapsedSeconds();
+  response.epoch = lease.epoch();
+  Tenant* tenant = FindTenant(pending.request.tenant);
+  if (tenant == nullptr) {  // deregistered between Submit and dispatch
+    response.status =
+        Status::NotFound("unknown tenant '" + pending.request.tenant + "'");
+    return response;
+  }
+  const RunSpec spec =
+      tenant->BuildRunSpec(lease.universe(), pending.request.seed);
+  WallTimer run_timer;
+  if (pending.request.alternatives > 1) {
+    Result<std::vector<MubeResult>> results =
+        lease.engine().RunAlternatives(spec, pending.request.alternatives);
+    if (results.ok()) {
+      response.results = results.MoveValueUnsafe();
+    } else {
+      response.status = results.status();
+    }
+  } else {
+    Result<MubeResult> result = lease.engine().Run(spec);
+    if (result.ok()) {
+      response.results.push_back(result.MoveValueUnsafe());
+    } else {
+      response.status = result.status();
+    }
+  }
+  response.run_seconds = run_timer.ElapsedSeconds();
+  response.staleness_epochs = snapshots_->current_epoch() - lease.epoch();
+  if (queue_seconds_ != nullptr) {
+    queue_seconds_->Observe(response.queue_seconds);
+    request_run_seconds_->Observe(response.run_seconds);
+    staleness_epochs_->Observe(
+        static_cast<double>(response.staleness_epochs));
+  }
+  return response;
+}
+
+void MubeService::Fulfill(const std::shared_ptr<ResponseFuture::State>& state,
+                          RefineResponse response) {
+  {
+    MutexLock lock(&state->mu);
+    state->response = std::move(response);
+    state->done = true;
+  }
+  state->cv.SignalAll();
+}
+
+}  // namespace mube

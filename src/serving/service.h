@@ -1,0 +1,197 @@
+#ifndef MUBE_SERVING_SERVICE_H_
+#define MUBE_SERVING_SERVICE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/threading.h"
+#include "common/timer.h"
+#include "core/mube.h"
+#include "metrics/metrics.h"
+#include "serving/snapshot.h"
+#include "serving/tenant.h"
+
+/// \file service.h
+/// The multi-tenant µBE service loop: a bounded request queue with
+/// admission control in front of the epoch snapshots, drained by a
+/// dispatcher that batches compatible work onto the shared help-while-wait
+/// ThreadPool. One service hosts many tenants (src/serving/tenant.h); all
+/// of them read whatever epoch is current when their batch is leased, and
+/// catalog churn (ApplyChurn) builds the next epoch concurrently without
+/// ever blocking in-flight requests (src/serving/snapshot.h).
+///
+/// Determinism: a request carries its own explicit seed, and Mube::Run is a
+/// pure function of (epoch state, RunSpec). A fixed request stream against
+/// a fixed churn schedule therefore produces the same selections per epoch
+/// no matter how requests interleave across batches or pool workers — the
+/// serving bench asserts exactly this.
+///
+/// Batching: the dispatcher drains up to `max_batch` queued requests,
+/// acquires ONE snapshot lease for the whole batch, and fans the requests
+/// out with ThreadPool::ParallelFor — the dispatcher thread itself helps
+/// execute, so a single-request batch degenerates to a plain inline call.
+
+namespace mube {
+
+/// \brief Service-level knobs.
+struct ServiceOptions {
+  /// Admission control: a Submit against a full queue is rejected with
+  /// Unavailable instead of blocking the caller (back-pressure belongs at
+  /// the edge, not inside the dispatcher).
+  size_t queue_capacity = 256;
+  /// Max requests served under one snapshot lease / ParallelFor batch.
+  size_t max_batch = 16;
+  /// Worker parallelism of the batch pool, including the dispatcher
+  /// (0 = hardware concurrency).
+  unsigned worker_threads = 0;
+};
+
+/// \brief One tenant request: run a µBE iteration (or a portfolio of
+/// alternatives) under the tenant's current constraint state.
+struct RefineRequest {
+  std::string tenant;
+  /// Explicit per-request seed — the determinism anchor. Two requests with
+  /// the same tenant state, seed, and epoch return identical selections.
+  uint64_t seed = 1;
+  /// > 1: RunAlternatives portfolio of this size; 0 or 1: single Run.
+  size_t alternatives = 0;
+};
+
+/// \brief What came back.
+struct RefineResponse {
+  Status status = Status::OK();
+  /// Best-first; exactly one element for single-Run requests.
+  std::vector<MubeResult> results;
+  /// Epoch the request was served against.
+  uint64_t epoch = 0;
+  /// Epochs published between serving and completion of this request —
+  /// how stale the answer already was the moment it was produced.
+  uint64_t staleness_epochs = 0;
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+/// \brief Completion handle for a submitted request. Copyable (all copies
+/// share one result slot); Wait() blocks until the dispatcher fulfills it.
+class ResponseFuture {
+ public:
+  ResponseFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool Ready() const;
+  /// Blocks until the response is set, then returns a copy of it. Must not
+  /// be called on an invalid future.
+  RefineResponse Wait() const;
+
+ private:
+  friend class MubeService;
+  struct State {
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    RefineResponse response GUARDED_BY(mu);
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+/// \brief The long-lived multi-tenant service.
+class MubeService {
+ public:
+  /// Builds the snapshot store (epoch 0 deep-copies `universe`), the batch
+  /// pool, and the dispatcher thread. `registry` (optional) receives the
+  /// serving metrics plus everything the engines record; it must outlive
+  /// the service.
+  static Result<std::unique_ptr<MubeService>> Create(
+      const Universe& universe, MubeConfig config, ServiceOptions options,
+      MetricsRegistry* registry = nullptr);
+
+  /// Stops the service (drains the queue first).
+  ~MubeService();
+
+  MubeService(const MubeService&) = delete;
+  MubeService& operator=(const MubeService&) = delete;
+
+  /// Registers a new tenant. The returned pointer stays valid for the
+  /// service's lifetime. AlreadyExists if the name is taken.
+  Result<Tenant*> RegisterTenant(const std::string& name)
+      EXCLUDES(tenants_mu_);
+  /// The named tenant, or nullptr.
+  Tenant* FindTenant(const std::string& name) const EXCLUDES(tenants_mu_);
+
+  /// Enqueues a request. Fails fast with Unavailable when the queue is at
+  /// capacity (admission control) or the service is stopping, NotFound for
+  /// an unregistered tenant.
+  Result<ResponseFuture> Submit(RefineRequest request) EXCLUDES(mu_);
+
+  /// Submit + Wait convenience for synchronous callers; admission or
+  /// tenant-resolution failures arrive as the response's status.
+  RefineResponse Refine(RefineRequest request);
+
+  /// Publishes the next catalog epoch (all-or-nothing; see
+  /// SnapshotManager::ApplyChurn). Safe to call at any time — concurrent
+  /// requests keep reading their pinned epochs.
+  Status ApplyChurn(const std::vector<ChurnEvent>& events);
+
+  /// Blocks until every request submitted before this call has completed.
+  void Drain() EXCLUDES(mu_);
+
+  /// Stops accepting requests, drains the queue, joins the dispatcher.
+  /// Idempotent.
+  void Stop();
+
+  SnapshotManager& snapshots() { return *snapshots_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    RefineRequest request;
+    std::shared_ptr<ResponseFuture::State> state;
+    WallTimer queued;  // started at Submit
+  };
+
+  explicit MubeService(ServiceOptions options) : options_(options) {}
+
+  void DispatcherLoop() EXCLUDES(mu_);
+  /// Serves one drained batch under a single snapshot lease.
+  void ServeBatch(std::vector<Pending>* batch);
+  /// Serves one request against the leased epoch (runs on a pool worker).
+  RefineResponse ServeOne(const Pending& pending,
+                          const SnapshotManager::Lease& lease);
+  static void Fulfill(const std::shared_ptr<ResponseFuture::State>& state,
+                      RefineResponse response);
+
+  const ServiceOptions options_;
+  std::unique_ptr<SnapshotManager> snapshots_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable Mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_
+      GUARDED_BY(tenants_mu_);
+
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::thread dispatcher_;
+
+  Counter* requests_total_ = nullptr;
+  Counter* requests_rejected_ = nullptr;
+  Counter* requests_failed_ = nullptr;
+  Counter* batches_total_ = nullptr;
+  Histogram* batch_size_ = nullptr;
+  Histogram* queue_seconds_ = nullptr;
+  Histogram* request_run_seconds_ = nullptr;
+  Histogram* staleness_epochs_ = nullptr;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_SERVING_SERVICE_H_

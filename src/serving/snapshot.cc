@@ -1,0 +1,195 @@
+#include "serving/snapshot.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace mube {
+
+Result<std::unique_ptr<SnapshotManager>> SnapshotManager::Create(
+    const Universe& initial, MubeConfig config, MetricsRegistry* registry) {
+  std::unique_ptr<SnapshotManager> manager(new SnapshotManager());
+  manager->registry_ = registry;
+  if (registry != nullptr) {
+    manager->epochs_published_ = registry->GetCounter(
+        "serving_epochs_published_total", "epochs published by churn");
+    manager->epochs_reclaimed_ = registry->GetCounter(
+        "serving_epochs_reclaimed_total",
+        "superseded epochs reclaimed after their last reader unpinned");
+    manager->churn_rejected_ = registry->GetCounter(
+        "serving_churn_rejected_total",
+        "churn batches rejected without publishing");
+    manager->build_seconds_ = registry->GetHistogram(
+        "serving_epoch_build_seconds",
+        Histogram::ExponentialBuckets(0.001, 2.0, 14),
+        "clone+fork+reconcile time per published epoch");
+  }
+
+  std::unique_ptr<Entry> entry = std::make_unique<Entry>();
+  entry->epoch = 0;
+  entry->universe = std::make_unique<DeltaUniverse>(initial.Clone());
+  MUBE_ASSIGN_OR_RETURN(
+      entry->engine,
+      Mube::Create(&entry->universe->universe(), std::move(config)));
+  if (registry != nullptr) entry->engine->AttachMetrics(registry);
+  entry->pins = 1;  // the implicit current-epoch pin
+  entry->is_current = true;
+
+  MutexLock lock(&manager->mu_);
+  manager->entries_.push_back(std::move(entry));
+  manager->current_ = manager->entries_.back().get();
+  manager->next_epoch_ = 1;
+  return manager;
+}
+
+SnapshotManager::~SnapshotManager() {
+  MutexLock lock(&mu_);
+  // Leases must not outlive the manager; anything still pinned here is a
+  // caller bug worth failing loudly on rather than a use-after-free later.
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    const size_t external_pins = entry->pins - (entry->is_current ? 1 : 0);
+    MUBE_CHECK(external_pins == 0);
+  }
+}
+
+SnapshotManager::Lease& SnapshotManager::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    entry_ = other.entry_;
+    other.manager_ = nullptr;
+    other.entry_ = nullptr;
+  }
+  return *this;
+}
+
+uint64_t SnapshotManager::Lease::epoch() const {
+  return static_cast<const Entry*>(entry_)->epoch;
+}
+
+const Universe& SnapshotManager::Lease::universe() const {
+  return static_cast<const Entry*>(entry_)->universe->universe();
+}
+
+const Mube& SnapshotManager::Lease::engine() const {
+  return *static_cast<const Entry*>(entry_)->engine;
+}
+
+void SnapshotManager::Lease::Release() {
+  if (entry_ == nullptr) return;
+  manager_->ReleaseEntry(static_cast<Entry*>(entry_));
+  manager_ = nullptr;
+  entry_ = nullptr;
+}
+
+SnapshotManager::Lease SnapshotManager::Acquire() {
+  MutexLock lock(&mu_);
+  ++current_->pins;
+  return Lease(this, current_);
+}
+
+void SnapshotManager::ReleaseEntry(Entry* entry) {
+  std::unique_ptr<Entry> reclaimed;
+  {
+    MutexLock lock(&mu_);
+    MUBE_CHECK(entry->pins > 0);
+    --entry->pins;
+    if (entry->pins == 0 && !entry->is_current) {
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->get() == entry) {
+          reclaimed = std::move(*it);
+          entries_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  // The epoch's engine and universe are torn down outside the lock — a
+  // reclaim must not stall concurrent Acquire/Release.
+  if (reclaimed != nullptr && epochs_reclaimed_ != nullptr) {
+    epochs_reclaimed_->Increment();
+  }
+}
+
+Status SnapshotManager::ApplyChurn(const std::vector<ChurnEvent>& events) {
+  MutexLock publish(&publish_mu_);
+  WallTimer timer;
+
+  // Pin the base epoch for the duration of the build: the clone and the
+  // fork read it, and a concurrent reader drain must not reclaim it.
+  Lease base = Acquire();
+
+  // Copy-on-write: the published epoch is never touched. Fork first (the
+  // clone's content is identical to the base at this point, which is the
+  // fork's precondition), then churn the clone, then reconcile the fork
+  // through the engine's own incremental paths.
+  auto next_universe =
+      std::make_unique<DeltaUniverse>(base.universe().Clone());
+  Result<std::unique_ptr<Mube>> forked =
+      base.engine().Fork(&next_universe->universe());
+  if (!forked.ok()) {
+    if (churn_rejected_ != nullptr) churn_rejected_->Increment();
+    return forked.status();
+  }
+  std::unique_ptr<Mube> next_engine = forked.MoveValueUnsafe();
+
+  ChurnDelta delta;
+  Status status = next_universe->ApplyAll(events, &delta);
+  if (!status.ok()) {
+    // All-or-nothing: the half-churned clone is dropped whole; the current
+    // epoch (and every reader on it) is untouched.
+    if (churn_rejected_ != nullptr) churn_rejected_->Increment();
+    return status;
+  }
+  status = next_engine->ApplyDelta(delta);
+  if (!status.ok()) {
+    if (churn_rejected_ != nullptr) churn_rejected_->Increment();
+    return status;
+  }
+
+  std::unique_ptr<Entry> entry = std::make_unique<Entry>();
+  entry->universe = std::move(next_universe);
+  entry->engine = std::move(next_engine);
+  entry->pins = 1;  // the implicit current-epoch pin
+  entry->is_current = true;
+
+  {
+    MutexLock lock(&mu_);
+    entry->epoch = next_epoch_++;
+    current_->is_current = false;
+    entries_.push_back(std::move(entry));
+    Entry* superseded = current_;
+    current_ = entries_.back().get();
+    ++published_;
+    // Drop the superseded epoch's implicit pin. Its storage cannot vanish
+    // here — `base` still pins it — so the removal bookkeeping stays in
+    // ReleaseEntry when the last real lease drops.
+    MUBE_CHECK(superseded->pins > 0);
+    --superseded->pins;
+  }
+
+  if (epochs_published_ != nullptr) {
+    epochs_published_->Increment();
+    build_seconds_->Observe(timer.ElapsedSeconds());
+  }
+  return Status::OK();
+}
+
+uint64_t SnapshotManager::current_epoch() const {
+  MutexLock lock(&mu_);
+  return current_->epoch;
+}
+
+size_t SnapshotManager::live_epoch_count() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+uint64_t SnapshotManager::published_count() const {
+  MutexLock lock(&mu_);
+  return published_;
+}
+
+}  // namespace mube

@@ -1,0 +1,159 @@
+#ifndef MUBE_SERVING_SNAPSHOT_H_
+#define MUBE_SERVING_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/threading.h"
+#include "core/mube.h"
+#include "dynamic/churn.h"
+#include "dynamic/delta_universe.h"
+#include "metrics/metrics.h"
+
+/// \file snapshot.h
+/// Epoch-based copy-on-write snapshots of the universe and its derived
+/// engine state. The serving problem: many tenants Refine/Execute against a
+/// shared engine *while* the catalog churns, but every engine mutator
+/// (Universe writes, Mube::ApplyDelta) requires external exclusion — taking
+/// a writer lock across a churn batch would stall every reader for the
+/// whole incremental-maintenance pass.
+///
+/// Snapshots cut that dependency. An **epoch** is an immutable pair
+/// (universe clone, forked engine). Readers pin the current epoch with an
+/// RAII Lease and run against it lock-free for as long as they hold the
+/// lease — the epoch's state is frozen, so Mube::Run's thread-safe const
+/// contract applies. Churn never touches a published epoch: the writer
+/// clones the current universe, forks the engine onto the clone
+/// (Mube::Fork — a copy of the similarity triangle and sketches, not a
+/// rebuild), applies the events to the clone, reconciles the fork with the
+/// engine's own incremental paths (Mube::ApplyDelta), and publishes the
+/// result as epoch N+1 in O(1) under the state lock. In-flight requests
+/// keep reading epoch N; new requests land on N+1; epoch N is reclaimed
+/// when its last lease drops.
+///
+/// Because every epoch descends from the same catalog lineage, source ids
+/// and attribute indexes are stable *across* epochs (see delta_universe.h):
+/// a tenant's pinned source id means the same source in every epoch that
+/// still carries it alive.
+///
+/// Publication is all-or-nothing: if any event in a batch fails, the half-
+/// churned clone is dropped and the current epoch stays exactly as it was —
+/// a stronger guarantee than Session::ApplyChurn's applied-prefix
+/// semantics, and the right one for a service (a failed admin batch must
+/// not leave tenants on a catalog nobody asked for).
+namespace mube {
+
+/// \brief Pin-counted epoch store with copy-on-write churn publication.
+///
+/// Concurrency: Acquire/Lease-release are cheap (one short critical
+/// section); any number of reader threads may hold leases on any mix of
+/// epochs. ApplyChurn may be called concurrently with readers — it never
+/// blocks them; concurrent ApplyChurn calls serialize on an internal
+/// writer lock.
+class SnapshotManager {
+ public:
+  /// Builds epoch 0 from a deep copy of `initial` (the caller's universe is
+  /// not retained) and a fresh engine over it. When `registry` is non-null,
+  /// snapshot lifecycle metrics and the engines' hot-path metrics are
+  /// recorded there; the registry must outlive the manager.
+  static Result<std::unique_ptr<SnapshotManager>> Create(
+      const Universe& initial, MubeConfig config,
+      MetricsRegistry* registry = nullptr);
+
+  ~SnapshotManager();
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// \brief RAII pin of one epoch. While any lease on an epoch is alive,
+  /// that epoch's universe and engine are guaranteed immutable and
+  /// undestroyed. Default-constructed leases are empty; moved-from leases
+  /// become empty. Dropping the last lease of a superseded epoch reclaims
+  /// it (on the dropping thread).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    bool valid() const { return entry_ != nullptr; }
+    uint64_t epoch() const;
+    const Universe& universe() const;
+    const Mube& engine() const;
+
+    /// Explicitly unpins now (idempotent).
+    void Release();
+
+   private:
+    friend class SnapshotManager;
+    Lease(SnapshotManager* manager, void* entry)
+        : manager_(manager), entry_(entry) {}
+
+    SnapshotManager* manager_ = nullptr;
+    void* entry_ = nullptr;  // Entry*, opaque to keep Entry private
+  };
+
+  /// Pins and returns the current epoch. Never blocks on churn builds.
+  Lease Acquire() EXCLUDES(mu_);
+
+  /// Builds and publishes the next epoch: clone → fork → churn → reconcile
+  /// → publish. All-or-nothing: on any failure the current epoch is
+  /// unchanged and nothing was published. Readers are never blocked — the
+  /// expensive build runs outside the state lock; only the O(1) pointer
+  /// swap takes it. Concurrent writers serialize (events apply in writer
+  /// arrival order).
+  Status ApplyChurn(const std::vector<ChurnEvent>& events)
+      EXCLUDES(publish_mu_, mu_);
+
+  /// Epoch number new Acquire() calls will pin (0-based, +1 per publish).
+  uint64_t current_epoch() const EXCLUDES(mu_);
+
+  /// Epochs currently held alive (the current one plus any superseded
+  /// epochs still pinned by readers). 1 when the service is quiescent —
+  /// the lifecycle tests assert reclaim through this.
+  size_t live_epoch_count() const EXCLUDES(mu_);
+
+  /// Total epochs ever published (churn batches accepted).
+  uint64_t published_count() const EXCLUDES(mu_);
+
+ private:
+  /// One immutable epoch. The DeltaUniverse owns the universe storage; the
+  /// engine points into it. `pins` counts leases plus (for the current
+  /// epoch) the implicit pin that keeps it alive with no readers.
+  struct Entry {
+    uint64_t epoch = 0;
+    std::unique_ptr<DeltaUniverse> universe;
+    std::unique_ptr<Mube> engine;
+    size_t pins = 0;
+    bool is_current = false;
+  };
+
+  SnapshotManager() = default;
+
+  /// Unpins `entry`; reclaims it when it is superseded and unpinned.
+  void ReleaseEntry(Entry* entry) EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  /// Writers serialize here; held across the whole clone/fork/churn build,
+  /// never overlapping mu_ except for the O(1) publish and pin steps.
+  Mutex publish_mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  Entry* current_ GUARDED_BY(mu_) = nullptr;
+  uint64_t next_epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t published_ GUARDED_BY(mu_) = 0;
+
+  MetricsRegistry* registry_ = nullptr;
+  Counter* epochs_published_ = nullptr;
+  Counter* epochs_reclaimed_ = nullptr;
+  Counter* churn_rejected_ = nullptr;
+  Histogram* build_seconds_ = nullptr;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_SERVING_SNAPSHOT_H_

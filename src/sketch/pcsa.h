@@ -2,6 +2,8 @@
 #define MUBE_SKETCH_PCSA_H_
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -95,6 +97,20 @@ class PcsaSketch {
   uint32_t map_shift_;             // log2(num_maps)
   std::vector<uint64_t> bitmaps_;  // one word per map
 };
+
+/// \brief Interceptor of the engine's signature *fetch* path. When the
+/// signature layer (SignatureCache) computes a source's sketch — at initial
+/// build and at every churn-driven refresh — the hook receives the honestly
+/// built sketch and returns what the source actually shipped: the sketch
+/// unchanged (a healthy source), a corrupted/stale variant (see
+/// PcsaSketch::CorruptedCopy), or nullopt (the source failed to ship one
+/// and is treated as uncooperative). This is how fault injection enters
+/// through the engine's own build path instead of being patched in at the
+/// cache boundary after the fact; src/reliability provides a FaultInjector-
+/// driven implementation (MakeFaultySignatureFetch).
+using SignatureFetchHook =
+    std::function<std::optional<PcsaSketch>(uint32_t source_id,
+                                            PcsaSketch built)>;
 
 }  // namespace mube
 

@@ -9,16 +9,26 @@
 namespace mube {
 
 SignatureCache::SignatureCache(const Universe& universe,
-                               const PcsaConfig& config)
-    : config_(config) {
+                               const PcsaConfig& config,
+                               SignatureFetchHook fetch_hook)
+    : config_(config), fetch_hook_(std::move(fetch_hook)) {
   sketches_.resize(universe.size());
   for (const Source& s : universe.sources()) {
     if (!s.has_tuples()) continue;
-    PcsaSketch sketch(config_);
-    sketch.AddAll(s.tuples());
-    sketches_[s.id()] = std::move(sketch);
+    RefreshSlot(universe, s.id());
   }
   RecomputeUniverseUnion();
+}
+
+std::unique_ptr<SignatureCache> SignatureCache::Clone() const {
+  std::unique_ptr<SignatureCache> clone(new SignatureCache());
+  clone->config_ = config_;
+  clone->fetch_hook_ = fetch_hook_;
+  clone->sketches_ = sketches_;
+  clone->cooperative_count_ = cooperative_count_;
+  clone->universe_union_ = universe_union_;
+  clone->memo_capacity_ = memo_capacity_;
+  return clone;
 }
 
 void SignatureCache::RefreshSlot(const Universe& universe,
@@ -30,6 +40,15 @@ void SignatureCache::RefreshSlot(const Universe& universe,
   }
   PcsaSketch sketch(config_);
   sketch.AddAll(s.tuples());
+  if (fetch_hook_ != nullptr) {
+    // The fetch interceptor decides what the source actually shipped: the
+    // honest sketch, a corrupted one, or nothing at all.
+    std::optional<PcsaSketch> shipped =
+        fetch_hook_(source_id, std::move(sketch));
+    if (shipped.has_value()) MUBE_CHECK(shipped->config() == config_);
+    sketches_[source_id] = std::move(shipped);
+    return;
+  }
   sketches_[source_id] = std::move(sketch);
 }
 

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -48,8 +49,20 @@ class SignatureCache {
  public:
   /// Computes a signature for every cooperative source in `universe`
   /// (one pass over each source's tuple ids — the "scan the data only once"
-  /// cost the paper argues sources will accept).
-  SignatureCache(const Universe& universe, const PcsaConfig& config);
+  /// cost the paper argues sources will accept). When `fetch_hook` is
+  /// non-null, every computed sketch passes through it before being cached
+  /// — at this initial build AND at every churn-driven refresh — so fault
+  /// injection (corrupt or missing signatures) happens on the engine's own
+  /// build path, indistinguishable from a source shipping bad bytes.
+  SignatureCache(const Universe& universe, const PcsaConfig& config,
+                 SignatureFetchHook fetch_hook = nullptr);
+
+  /// Deep copy for epoch forking (src/serving): the sketches, denominator,
+  /// capacity, and fetch hook are copied; the union memo and its counters
+  /// start empty (memoized estimates are re-derivable, and the clone's
+  /// memo will refill with its own epoch's subsets). The source cache may
+  /// be serving concurrent readers during the clone.
+  std::unique_ptr<SignatureCache> Clone() const;
 
   /// Incrementally reconciles the cache with a universe mutated by churn.
   /// `dirty_sources` must list every source whose shipped data changed:
@@ -121,6 +134,8 @@ class SignatureCache {
   /// @}
 
  private:
+  SignatureCache() = default;  // Clone()'s blank slate
+
   struct MemoEntry {
     double estimate = 0.0;
     uint64_t member_mask = 0;  // OR of 1 << (source_id % 64) over the subset
@@ -160,6 +175,8 @@ class SignatureCache {
   void RecomputeUniverseUnion();
 
   PcsaConfig config_;
+  /// Applied to every freshly built sketch (initial build + churn refresh).
+  SignatureFetchHook fetch_hook_;
   /// Immutable between mutations; read without locks by all threads.
   std::vector<std::optional<PcsaSketch>> sketches_;  // index = source id
   size_t cooperative_count_ = 0;

@@ -17,6 +17,7 @@
 #include "dynamic/churn.h"
 #include "dynamic/delta_universe.h"
 #include "dynamic/re_optimizer.h"
+#include "metrics/metrics.h"
 #include "opt/problem.h"
 #include "opt/search_util.h"
 #include "schema/universe.h"
@@ -739,6 +740,83 @@ TEST(SessionChurnTest, ReIterateRunsWarmAfterSmallChurn) {
   Result<MubeResult> third = session->ReIterate();
   ASSERT_TRUE(third.ok()) << third.status().ToString();
   EXPECT_EQ(session->history().size(), 3u);
+}
+
+// ------------------------------------------------------ warm alternatives --
+
+TEST(WarmAlternativesTest, WarmSeedNeverRegressesBelowItsIncumbent) {
+  GeneratedUniverse gen = GenerateUniverse(SmallGen(47)).ValueOrDie();
+  auto mube = Mube::Create(&gen.universe, FastConfig()).ValueOrDie();
+
+  RunSpec spec;
+  spec.seed = 9;
+  const MubeResult incumbent = mube->Run(spec).ValueOrDie();
+
+  // Resuming from the incumbent under a starved budget: the search keeps
+  // its best-seen start point, so the warm member can only improve on it.
+  Mube::AlternativeSeed seed;
+  seed.initial_solution = incumbent.solution.sources;
+  seed.max_evaluations = 32;
+  std::vector<MubeResult> warm =
+      mube->RunAlternatives(spec, 1, {seed}).ValueOrDie();
+  ASSERT_FALSE(warm.empty());
+  EXPECT_GE(warm[0].solution.overall, incumbent.solution.overall);
+
+  // Warm seeding is deterministic: same spec + same seeds → same results.
+  std::vector<MubeResult> again =
+      mube->RunAlternatives(spec, 1, {seed}).ValueOrDie();
+  EXPECT_EQ(again[0].solution.sources, warm[0].solution.sources);
+  EXPECT_DOUBLE_EQ(again[0].solution.overall, warm[0].solution.overall);
+}
+
+TEST(WarmAlternativesTest, SessionPortfolioWarmsEachSlotAcrossChurn) {
+  GeneratedUniverse gen = GenerateUniverse(SmallGen(53)).ValueOrDie();
+  DeltaUniverse du(std::move(gen.universe));
+  auto session = Session::Create(&du, FastConfig()).ValueOrDie();
+  MetricsRegistry registry;
+  session->SetMetrics(&registry);
+
+  std::vector<MubeResult> first =
+      session->IterateAlternatives(3).ValueOrDie();
+  ASSERT_FALSE(first.empty());
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_GE(first[i - 1].solution.overall, first[i].solution.overall);
+  }
+  // Exploratory: no committed iteration, nothing pending.
+  EXPECT_TRUE(session->history().empty());
+
+  // Churn one selected source away; the next portfolio call plans every
+  // slot through the ReOptimizer (warm where the incumbent survived).
+  const std::string victim =
+      du.universe().source(first[0].solution.sources[0]).name();
+  ASSERT_TRUE(session->ApplyChurn({ChurnEvent::RemoveSource(victim)}).ok());
+  std::vector<MubeResult> second =
+      session->IterateAlternatives(3).ValueOrDie();
+  ASSERT_FALSE(second.empty());
+  for (const MubeResult& result : second) {
+    for (uint32_t sid : result.solution.sources) {
+      EXPECT_TRUE(du.universe().alive(sid));
+    }
+  }
+  // IterateAlternatives left the pending churn for ReIterate to plan on.
+  EXPECT_FALSE(session->pending_churn().empty());
+  ASSERT_TRUE(session->ReIterate().ok());
+  EXPECT_TRUE(session->pending_churn().empty());
+
+  // The per-slot plans were recorded: every second-call slot took a
+  // warm-or-cold decision, and the engine counted each portfolio member.
+  const uint64_t warm =
+      registry.GetCounter("mube_session_reopt_warm_total")->Value();
+  const uint64_t cold =
+      registry.GetCounter("mube_session_reopt_cold_total")->Value();
+  EXPECT_GE(warm + cold, 2u);  // ≥1 portfolio slot + the ReIterate plan
+  EXPECT_GE(registry.GetCounter("mube_runs_total")->Value(), 7u);
+  EXPECT_EQ(registry.GetCounter("mube_session_churn_events_total")->Value(),
+            1u);
+  EXPECT_GT(registry.GetHistogram("mube_session_reopt_budget_evaluations", {})
+                ->TakeSnapshot()
+                .count,
+            0u);
 }
 
 }  // namespace

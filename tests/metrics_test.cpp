@@ -1,0 +1,162 @@
+// Tests for src/metrics: counter/histogram semantics under concurrency,
+// quantile interpolation, registry create-or-get, and the deterministic
+// text exposition the serving layer dumps.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace mube {
+namespace {
+
+// ----------------------------------------------------------------Counter --
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// --------------------------------------------------------------Histogram --
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0
+  histogram.Observe(1.0);    // bucket 0 (le = upper bound inclusive)
+  histogram.Observe(5.0);    // bucket 1
+  histogram.Observe(1000.0); // +Inf bucket
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  ASSERT_EQ(snap.upper_bounds.size(), 3u);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);  // +Inf appended
+  EXPECT_EQ(snap.bucket_counts[0], 2u);
+  EXPECT_EQ(snap.bucket_counts[1], 1u);
+  EXPECT_EQ(snap.bucket_counts[2], 0u);
+  EXPECT_EQ(snap.bucket_counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.5);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndClamps) {
+  Histogram histogram({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 10; ++i) histogram.Observe(5.0);   // bucket (0,10]
+  for (int i = 0; i < 10; ++i) histogram.Observe(15.0);  // bucket (10,20]
+  // Median sits at the boundary between the two buckets.
+  EXPECT_NEAR(histogram.Quantile(0.5), 10.0, 1.0);
+  EXPECT_LE(histogram.Quantile(0.99), 20.0);
+  // Observations beyond the last finite bound clamp to it.
+  histogram.Observe(1e9);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, ExponentialBuckets) {
+  const std::vector<double> bounds =
+      Histogram::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllLand) {
+  Histogram histogram(Histogram::ExponentialBuckets(1.0, 2.0, 8));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.TakeSnapshot().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------Registry --
+
+TEST(MetricsRegistryTest, CreateOrGetReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total", "requests");
+  Counter* b = registry.GetCounter("requests_total");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+
+  Histogram* h1 = registry.GetHistogram("latency", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("latency", {99.0});  // bounds ignored
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2->upper_bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryDeathTest, TypeMismatchIsAWiringBug) {
+  MetricsRegistry registry;
+  registry.GetCounter("m");
+  EXPECT_DEATH(registry.GetHistogram("m", {1.0}), "");
+}
+
+TEST(MetricsRegistryDeathTest, BadNamesAreRejected) {
+  MetricsRegistry registry;
+  EXPECT_DEATH(registry.GetCounter("has space"), "");
+  EXPECT_DEATH(registry.GetCounter("9starts_with_digit"), "");
+  EXPECT_DEATH(registry.GetCounter(""), "");
+}
+
+TEST(MetricsRegistryTest, ExpositionIsDeterministicAndSorted) {
+  // Two registries populated in different orders must render identically.
+  MetricsRegistry first;
+  first.GetCounter("zeta_total", "last alphabetically")->Increment(3);
+  first.GetHistogram("alpha_seconds", {0.5, 1.0}, "first")->Observe(0.25);
+
+  MetricsRegistry second;
+  second.GetHistogram("alpha_seconds", {0.5, 1.0}, "first")->Observe(0.25);
+  second.GetCounter("zeta_total", "last alphabetically")->Increment(3);
+
+  EXPECT_EQ(first.Expose(), second.Expose());
+
+  const std::string text = first.Expose();
+  // Name-sorted: the histogram renders before the counter.
+  EXPECT_LT(text.find("alpha_seconds"), text.find("zeta_total"));
+  EXPECT_NE(text.find("# TYPE alpha_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE zeta_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP zeta_total last alphabetically"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeta_total 3"), std::string::npos);
+  // Histogram buckets are cumulative and always end with +Inf = count.
+  EXPECT_NE(text.find("alpha_seconds_bucket{le=\"0.5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("alpha_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("alpha_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("alpha_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("alpha_seconds_sum 0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mube

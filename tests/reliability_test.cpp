@@ -370,6 +370,85 @@ TEST(SignatureCacheTest, OverrideSketchInvalidatesTouchedMemos) {
   EXPECT_DOUBLE_EQ(cache.EstimateUnion({0, 1}), cache.EstimateUnion({1}));
 }
 
+// ------------------------------------------------- faulty signature fetch
+
+TEST(FaultySignatureFetchTest, CorruptFetchPerturbsTheBuiltSketch) {
+  ReliabilityFixture f;
+  PcsaConfig pcsa;
+  pcsa.num_maps = 64;
+  SignatureCache honest(f.universe, pcsa);
+
+  FaultInjector injector(7);
+  FaultProfile stale;
+  stale.corrupt_signature_prob = 1.0;
+  injector.SetProfile(0, stale);
+  SignatureCache faulty(f.universe, pcsa,
+                        MakeFaultySignatureFetch(&injector));
+
+  // Source 0 shipped wrong bytes on the cache's own build path; everyone
+  // else is untouched. Corruption only ever inflates FM estimates.
+  ASSERT_NE(faulty.SketchOf(0), nullptr);
+  EXPECT_NE(faulty.SketchOf(0)->bitmaps(), honest.SketchOf(0)->bitmaps());
+  EXPECT_EQ(faulty.SketchOf(1)->bitmaps(), honest.SketchOf(1)->bitmaps());
+  EXPECT_GE(faulty.EstimateUnion({0}), honest.EstimateUnion({0}));
+
+  // Same injector seed → the same schedule → bit-identical corruption.
+  FaultInjector replay(7);
+  replay.SetProfile(0, stale);
+  SignatureCache again(f.universe, pcsa, MakeFaultySignatureFetch(&replay));
+  EXPECT_EQ(again.SketchOf(0)->bitmaps(), faulty.SketchOf(0)->bitmaps());
+}
+
+TEST(FaultySignatureFetchTest, HardDownSourceShipsNoSignature) {
+  ReliabilityFixture f;
+  PcsaConfig pcsa;
+  pcsa.num_maps = 64;
+  FaultInjector injector(11);
+  injector.SetProfile(1, ReliabilityFixture::HardDown());
+  SignatureCache cache(f.universe, pcsa,
+                       MakeFaultySignatureFetch(&injector));
+
+  // The source is treated exactly like a non-cooperative one (§4): no
+  // sketch, skipped in union estimates.
+  EXPECT_FALSE(cache.IsCooperative(1));
+  EXPECT_EQ(cache.SketchOf(1), nullptr);
+  EXPECT_TRUE(cache.IsCooperative(0));
+  EXPECT_DOUBLE_EQ(cache.EstimateUnion({0, 1}), cache.EstimateUnion({0}));
+}
+
+TEST(FaultySignatureFetchTest, HookRidesEngineBuildAndChurnRefresh) {
+  ReliabilityFixture f;
+  FaultInjector injector(13);
+  FaultProfile stale;
+  stale.corrupt_signature_prob = 1.0;
+  injector.SetProfile(0, stale);
+
+  MubeConfig config = MubeConfig::PaperDefaults();
+  config.pcsa.num_maps = 64;
+  config.signature_fetch_hook = MakeFaultySignatureFetch(&injector);
+
+  DeltaUniverse du(std::move(f.universe));
+  auto mube = Mube::Create(&du.universe(), config).ValueOrDie();
+  // The initial build fetched the profiled source's signature through the
+  // injector — no cache-boundary override involved. Profile-free sources
+  // ride the no-fault fast path (no schedule position consumed).
+  EXPECT_EQ(injector.attempt_count(0), 1u);
+  EXPECT_EQ(injector.attempt_count(1), 0u);
+
+  // A re-crawl refreshes only the dirty source, again through the hook.
+  ChurnDelta delta;
+  ASSERT_TRUE(
+      du.Apply(ChurnEvent::UpdateTuples("a.com", {5, 6, 7}), &delta).ok());
+  ASSERT_TRUE(mube->ApplyDelta(delta).ok());
+  EXPECT_EQ(injector.attempt_count(0), 2u);
+  EXPECT_EQ(injector.attempt_count(1), 0u);
+
+  // The engine stays fully functional on corrupted signatures.
+  RunSpec spec;
+  spec.seed = 3;
+  EXPECT_TRUE(mube->Run(spec).ok());
+}
+
 // -------------------------------------------------------- reliable executor
 
 TEST(ReliableExecutorTest, HealthyPathMatchesMediatedExecutor) {
