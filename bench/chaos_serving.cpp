@@ -1,0 +1,531 @@
+// Chaos harness for the resilient serving path (src/serving +
+// src/reliability): fault storms, catalog churn, and admission overload
+// thrown at one MubeService, with the resilience claims enforced by exit
+// code.
+//
+// Two phases:
+//   A. Deterministic shed/degrade wave. A service with an *injected* clock
+//      and a paused dispatcher stages a mixed Refine/Execute wave spanning
+//      three tenants (weights 2/1/1): no-deadline work, deadlines that the
+//      staged clock advance expires in the queue, and deadlines left with
+//      a budget below the degrade threshold. The clock jumps, the
+//      dispatcher resumes, and every per-request outcome (status class,
+//      degraded flag, dispatch sequence) is recorded. The whole wave runs
+//      twice from scratch; the outcome transcripts must be bit-identical.
+//      The same wave checks the weighted-fair starvation bound: the light
+//      tenant's i-th request must dispatch within i * (sum of weights)
+//      slots of the global order.
+//   B. Wall-clock chaos storm. A generated catalog with a fault schedule
+//      (hard-down sources, transient failures, latency tails) serves
+//      closed-loop clients issuing mixed Refine/Execute traffic with
+//      deadlines, while an adversary floods one quota-limited tenant with
+//      open-loop submits and a writer publishes churn batches. Breakers
+//      trip and persist across the epochs the storm publishes; persistent
+//      failures feed churn back through the service's own ApplyChurn.
+//
+// Exit-code SLOs:
+//   1. every admitted future is fulfilled (nothing hangs, nothing leaks);
+//   2. zero post-deadline dispatches (expired work is shed, never run);
+//   3. per-tenant starvation bound under the weighted-fair dispatcher;
+//   4. shed/degrade decisions are deterministic at a fixed seed;
+//   5. the quota clamps the adversary without touching polite tenants;
+//   6. one live epoch after the storm drains (leases reclaimed).
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/threading.h"
+#include "datagen/generator.h"
+#include "dynamic/churn.h"
+#include "metrics/metrics.h"
+#include "reliability/fault_injector.h"
+#include "serving/service.h"
+
+namespace mube {
+namespace {
+
+using bench::PrintHeader;
+using bench::QuickMode;
+
+struct StormShape {
+  size_t num_sources;
+  size_t num_tenants;
+  size_t num_clients;
+  size_t requests_per_client;
+  size_t adversary_submits;
+  size_t churn_batches;
+  size_t max_evaluations;
+};
+
+StormShape Shape() {
+  if (QuickMode()) {
+    return StormShape{30, 8, 4, 25, 120, 3, 150};
+  }
+  return StormShape{80, 16, 6, 60, 360, 5, 250};
+}
+
+MubeConfig StormConfig(size_t max_evaluations) {
+  MubeConfig config = MubeConfig::PaperDefaults();
+  config.max_sources = 6;
+  config.optimizer_options.max_evaluations = max_evaluations;
+  config.optimizer_options.seed = 1;
+  config.pcsa.num_maps = 64;
+  return config;
+}
+
+// ------------------------------------------------ A. deterministic wave --
+
+/// One staged request's observable resilience outcome. `kind` is
+/// 'R'/'X' (refine/execute); `fate` is 's'erved, 'd'egraded, or 'e'xpired
+/// (shed or serve-point deadline); dispatch_sequence pins the fair order.
+std::string OutcomeKey(char kind, const Status& status, bool degraded,
+                       uint64_t sequence) {
+  const char fate = status.ok() ? (degraded ? 'd' : 's')
+                    : status.code() == StatusCode::kDeadlineExceeded
+                        ? 'e'
+                        : '?';
+  return std::string(1, kind) + fate + ":" + std::to_string(sequence);
+}
+
+struct WaveResult {
+  std::vector<std::string> transcript;  // one OutcomeKey per staged request
+  std::vector<uint64_t> light_sequences;
+  /// Smallest dispatch sequence in the wave, minus one: the incumbent
+  /// seeding before the wave consumes global sequence numbers, so fairness
+  /// bounds are relative to the wave's own first dispatch.
+  uint64_t base_sequence = 0;
+  uint64_t expired_in_queue = 0;
+  uint64_t degraded_serves = 0;
+  uint64_t post_deadline_dispatches = 0;
+  bool all_fulfilled = true;
+};
+
+/// Stages the wave behind a paused dispatcher, advances the injected
+/// clock, releases, and transcribes every outcome. Deterministic by
+/// construction: the staged queue state and the clock are the only inputs
+/// to shed/degrade, and dispatch order is weighted round-robin over them.
+WaveResult RunWave(const Universe& universe, uint64_t seed) {
+  std::atomic<double> clock{0.0};
+  MetricsRegistry registry;
+  ServiceOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 32;
+  options.worker_threads = 2;
+  options.degrade_threshold_ms = 50.0;
+  options.clock_ms = [&clock] { return clock.load(); };
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(universe, StormConfig(Shape().max_evaluations),
+                          options, &registry)
+          .ValueOrDie();
+  Tenant* heavy = service->RegisterTenant("heavy").ValueOrDie();
+  MUBE_CHECK(heavy->SetDispatchWeight(2).ok());
+  service->RegisterTenant("light").ValueOrDie();
+  service->RegisterTenant("zz-edge").ValueOrDie();
+
+  // Seed incumbents + cached reports so degraded serves have something to
+  // fall back to.
+  for (const char* tenant : {"heavy", "light", "zz-edge"}) {
+    RefineRequest refine;
+    refine.tenant = tenant;
+    refine.seed = seed;
+    MUBE_CHECK(service->Refine(refine).status.ok());
+    ExecuteRequest execute;
+    execute.tenant = tenant;
+    MUBE_CHECK(service->Execute(execute).status.ok());
+  }
+
+  service->PauseDispatch();
+  std::vector<char> kinds;
+  std::vector<ResponseFuture> refines;
+  std::vector<ExecuteFuture> executes;
+  std::vector<int> slots;  // index into refines/executes, parallel to kinds
+  auto stage_refine = [&](const char* tenant, double deadline_ms,
+                          uint64_t request_seed) {
+    RefineRequest request;
+    request.tenant = tenant;
+    request.seed = request_seed;
+    request.deadline_ms = deadline_ms;
+    refines.push_back(service->Submit(request).ValueOrDie());
+    kinds.push_back('R');
+    slots.push_back(static_cast<int>(refines.size()) - 1);
+  };
+  auto stage_execute = [&](const char* tenant, double deadline_ms) {
+    ExecuteRequest request;
+    request.tenant = tenant;
+    request.deadline_ms = deadline_ms;
+    executes.push_back(service->SubmitExecute(request).ValueOrDie());
+    kinds.push_back('X');
+    slots.push_back(static_cast<int>(executes.size()) - 1);
+  };
+
+  // heavy floods; light trickles; zz-edge carries the deadline traffic:
+  // 100ms deadlines survive the +70ms jump with 30ms < the 50ms threshold
+  // (degrade), 40/30ms deadlines expire in the queue (shed).
+  for (uint64_t i = 0; i < 6; ++i) stage_refine("heavy", 0.0, seed + i);
+  stage_refine("light", 0.0, seed + 11);
+  stage_refine("light", 0.0, seed + 12);
+  stage_refine("zz-edge", 100.0, seed + 21);
+  stage_execute("zz-edge", 100.0);
+  stage_refine("zz-edge", 40.0, seed + 22);
+  stage_execute("zz-edge", 30.0);
+  clock.store(70.0);
+  service->ResumeDispatch();
+  service->Drain();
+
+  WaveResult result;
+  uint64_t min_sequence = 0;
+  auto note_sequence = [&min_sequence](uint64_t sequence) {
+    if (sequence > 0 && (min_sequence == 0 || sequence < min_sequence)) {
+      min_sequence = sequence;
+    }
+  };
+  size_t refine_cursor = 0;
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    if (kinds[i] == 'R') {
+      std::optional<RefineResponse> response =
+          refines[slots[i]].WaitFor(60.0);
+      if (!response.has_value()) {
+        result.all_fulfilled = false;
+        continue;
+      }
+      result.transcript.push_back(OutcomeKey('R', response->status,
+                                             response->degraded,
+                                             response->dispatch_sequence));
+      note_sequence(response->dispatch_sequence);
+      ++refine_cursor;
+      if (refine_cursor == 7 || refine_cursor == 8) {  // the light pair
+        result.light_sequences.push_back(response->dispatch_sequence);
+      }
+    } else {
+      std::optional<ExecuteResponse> response =
+          executes[slots[i]].WaitFor(60.0);
+      if (!response.has_value()) {
+        result.all_fulfilled = false;
+        continue;
+      }
+      result.transcript.push_back(OutcomeKey('X', response->status,
+                                             response->degraded,
+                                             response->dispatch_sequence));
+      note_sequence(response->dispatch_sequence);
+    }
+  }
+  result.base_sequence = min_sequence > 0 ? min_sequence - 1 : 0;
+  result.expired_in_queue =
+      registry.GetCounter("serving_deadline_expired_in_queue_total")->Value();
+  result.degraded_serves =
+      registry.GetCounter("serving_degraded_serves_total")->Value();
+  result.post_deadline_dispatches =
+      registry.GetCounter("serving_post_deadline_dispatch_total")->Value();
+  return result;
+}
+
+// ------------------------------------------------------ B. chaos storm --
+
+struct StormResult {
+  size_t refine_ok = 0;
+  size_t execute_ok = 0;
+  size_t deadline_shed = 0;
+  size_t degraded = 0;
+  size_t failed_precondition = 0;
+  size_t rejected_unavailable = 0;
+  size_t unexpected = 0;
+  size_t unfulfilled = 0;
+  size_t adversary_quota_rejections = 0;
+  size_t adversary_admitted = 0;
+};
+
+void CountRefine(const std::optional<RefineResponse>& response,
+                 StormResult* result, Mutex* mu) {
+  MutexLock lock(mu);
+  if (!response.has_value()) {
+    ++result->unfulfilled;
+  } else if (response->status.ok()) {
+    ++result->refine_ok;
+    if (response->degraded) ++result->degraded;
+  } else if (response->status.code() == StatusCode::kDeadlineExceeded) {
+    ++result->deadline_shed;
+  } else {
+    ++result->unexpected;
+  }
+}
+
+void CountExecute(const std::optional<ExecuteResponse>& response,
+                  StormResult* result, Mutex* mu) {
+  MutexLock lock(mu);
+  if (!response.has_value()) {
+    ++result->unfulfilled;
+  } else if (response->status.ok()) {
+    ++result->execute_ok;
+    if (response->degraded) ++result->degraded;
+  } else if (response->status.code() == StatusCode::kDeadlineExceeded) {
+    ++result->deadline_shed;
+  } else if (response->status.code() == StatusCode::kFailedPrecondition) {
+    // Persistent-failure churn can retire a tenant's whole incumbent
+    // mid-storm; the next Execute then has nothing to run. Legitimate.
+    ++result->failed_precondition;
+  } else {
+    ++result->unexpected;
+  }
+}
+
+/// A storm-sized fault schedule: two sources hard-down (breaker + churn
+/// fodder), a band of flaky sources, and a band of slow ones.
+void InstallFaultStorm(FaultInjector* faults, size_t num_sources) {
+  for (size_t sid = 0; sid < num_sources; ++sid) {
+    FaultProfile profile;
+    if (sid < 2) {
+      profile.hard_down = true;
+    } else if (sid < num_sources / 3) {
+      profile.transient_failure_prob = 0.30;
+      profile.extra_latency_ms = 10.0;
+    } else if (sid < num_sources / 2) {
+      profile.extra_latency_ms = 40.0;
+      profile.slow_tail_prob = 0.2;
+      profile.slow_tail_scale = 4.0;
+    } else {
+      continue;  // healthy
+    }
+    faults->SetProfile(static_cast<uint32_t>(sid), profile);
+  }
+}
+
+StormResult RunStorm(MubeService* service, const StormShape& shape) {
+  StormResult result;
+  Mutex mu;
+
+  // Closed-loop polite clients: mixed Refine/Execute with deadlines wide
+  // enough to normally pass but tight enough that overload can shed them.
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < shape.num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0xCAFE + c);
+      for (size_t i = 0; i < shape.requests_per_client; ++i) {
+        const std::string tenant =
+            "tenant-" +
+            std::to_string(rng.Uniform(
+                static_cast<uint32_t>(shape.num_tenants)));
+        if (i % 4 == 3) {
+          ExecuteRequest request;
+          request.tenant = tenant;
+          request.deadline_ms = 4000.0;
+          Result<ExecuteFuture> submitted =
+              service->SubmitExecute(std::move(request));
+          if (!submitted.ok()) {
+            MutexLock lock(&mu);
+            ++result.rejected_unavailable;
+            continue;
+          }
+          CountExecute(submitted.ValueOrDie().WaitFor(60.0), &result, &mu);
+        } else {
+          RefineRequest request;
+          request.tenant = tenant;
+          request.seed = 1 + (c * shape.requests_per_client + i) % 32;
+          request.deadline_ms = 4000.0;
+          Result<ResponseFuture> submitted = service->Submit(request);
+          if (!submitted.ok()) {
+            MutexLock lock(&mu);
+            ++result.rejected_unavailable;
+            continue;
+          }
+          CountRefine(submitted.ValueOrDie().WaitFor(60.0), &result, &mu);
+        }
+      }
+    });
+  }
+
+  // Open-loop adversary: floods its own tenant far past the quota and only
+  // collects the futures afterwards. The quota must clamp it here, at
+  // admission, without denting anyone above.
+  std::thread adversary([&] {
+    std::vector<ResponseFuture> futures;
+    for (size_t i = 0; i < shape.adversary_submits; ++i) {
+      RefineRequest request;
+      request.tenant = "adversary";
+      request.seed = 1 + i % 16;
+      Result<ResponseFuture> submitted = service->Submit(request);
+      if (submitted.ok()) {
+        futures.push_back(submitted.MoveValueUnsafe());
+      } else if (submitted.status().IsResourceExhausted()) {
+        MutexLock lock(&mu);
+        ++result.adversary_quota_rejections;
+      } else {
+        MutexLock lock(&mu);
+        ++result.rejected_unavailable;
+      }
+    }
+    {
+      MutexLock lock(&mu);
+      result.adversary_admitted = futures.size();
+    }
+    for (const ResponseFuture& future : futures) {
+      CountRefine(future.WaitFor(60.0), &result, &mu);
+    }
+  });
+
+  // Writer: background catalog churn (re-crawls only — removals arrive
+  // organically via the persistent-failure path).
+  std::thread writer([&] {
+    Rng rng(0xD00D);
+    for (size_t round = 0; round < shape.churn_batches; ++round) {
+      std::vector<ChurnEvent> batch;
+      {
+        SnapshotManager::Lease lease = service->snapshots().Acquire();
+        const std::vector<uint32_t> alive =
+            lease.universe().AliveSourceIds();
+        const Source& crawled = lease.universe().source(
+            alive[rng.Uniform(static_cast<uint32_t>(alive.size()))]);
+        std::vector<uint64_t> tuples(crawled.tuples().begin(),
+                                     crawled.tuples().end());
+        tuples.push_back((uint64_t{0xFEED} << 32) | rng.Uniform(1u << 30));
+        batch.push_back(ChurnEvent::UpdateTuples(crawled.name(), tuples));
+      }
+      // Racing the persistent-failure churn can legitimately fail the
+      // batch (all-or-nothing); the storm only cares that it never wedges.
+      (void)service->ApplyChurn(batch);
+    }
+  });
+
+  for (std::thread& client : clients) client.join();
+  adversary.join();
+  writer.join();
+  service->Drain();
+  return result;
+}
+
+int Main() {
+  const StormShape shape = Shape();
+  std::printf(
+      "µBE chaos serving: %zu tenants, %zu clients x %zu requests, "
+      "adversary x%zu, %zu churn batches, %zu sources%s\n\n",
+      shape.num_tenants, shape.num_clients, shape.requests_per_client,
+      shape.adversary_submits, shape.churn_batches, shape.num_sources,
+      QuickMode() ? " (quick)" : "");
+
+  GeneratedUniverse generated =
+      GenerateUniverse(bench::PaperWorkload(shape.num_sources, 42))
+          .ValueOrDie();
+
+  // -------------------------------------------- A. deterministic wave --
+  const WaveResult wave_a = RunWave(generated.universe, 7);
+  const WaveResult wave_b = RunWave(generated.universe, 7);
+  std::printf("wave transcript (%zu staged requests):\n ",
+              wave_a.transcript.size());
+  for (const std::string& key : wave_a.transcript) {
+    std::printf(" %s", key.c_str());
+  }
+  std::printf("\n  expired-in-queue %llu, degraded %llu\n\n",
+              static_cast<unsigned long long>(wave_a.expired_in_queue),
+              static_cast<unsigned long long>(wave_a.degraded_serves));
+
+  constexpr uint64_t kWeightCycle = 2 + 1 + 1;  // heavy + light + zz-edge
+  bool starvation_bounded = wave_a.light_sequences.size() == 2;
+  for (size_t i = 0; i < wave_a.light_sequences.size(); ++i) {
+    if (wave_a.light_sequences[i] <= wave_a.base_sequence ||
+        wave_a.light_sequences[i] - wave_a.base_sequence >
+            (i + 1) * kWeightCycle) {
+      starvation_bounded = false;
+    }
+  }
+
+  // ---------------------------------------------------- B. chaos storm --
+  FaultInjector faults(1337);
+  InstallFaultStorm(&faults, generated.universe.size());
+  MetricsRegistry registry;
+  ServiceOptions options;
+  options.queue_capacity = 1024;
+  options.max_batch = 16;
+  options.per_tenant_quota = 8;
+  options.degrade_threshold_ms = 5.0;
+  options.fault_injector = &faults;
+  options.reliability.persistent_failure_threshold = 4;
+  options.reliability.breaker.min_samples = 4;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(generated.universe,
+                          StormConfig(shape.max_evaluations), options,
+                          &registry)
+          .ValueOrDie();
+  for (size_t t = 0; t < shape.num_tenants; ++t) {
+    service->RegisterTenant("tenant-" + std::to_string(t)).ValueOrDie();
+  }
+  service->RegisterTenant("adversary").ValueOrDie();
+  // Seed every tenant's incumbent so Executes have something to run.
+  for (size_t t = 0; t < shape.num_tenants; ++t) {
+    RefineRequest request;
+    request.tenant = "tenant-" + std::to_string(t);
+    request.seed = 5 + t;
+    MUBE_CHECK(service->Refine(request).status.ok());
+  }
+
+  WallTimer storm_wall;
+  const StormResult storm = RunStorm(service.get(), shape);
+  const double storm_seconds = storm_wall.ElapsedSeconds();
+  const uint64_t published = service->snapshots().published_count();
+  service->Drain();
+  const size_t live_epochs = service->snapshots().live_epoch_count();
+
+  auto metric = [&registry](const char* name) {
+    return static_cast<unsigned long long>(
+        registry.GetCounter(name)->Value());
+  };
+  PrintHeader({"outcome", "count"});
+  auto row = [](const char* label, size_t count) {
+    std::printf("%14s%14zu\n", label, count);
+  };
+  row("refine ok", storm.refine_ok);
+  row("execute ok", storm.execute_ok);
+  row("degraded", storm.degraded);
+  row("deadline shed", storm.deadline_shed);
+  row("no incumbent", storm.failed_precondition);
+  row("unavailable", storm.rejected_unavailable);
+  row("quota clamp", storm.adversary_quota_rejections);
+  row("unexpected", storm.unexpected);
+  std::printf(
+      "\nstorm: %.1fs, %llu epochs published, breakers opened %llu / "
+      "half-opened %llu / closed %llu, persistent-failure churn %llu, "
+      "executes %llu, shed-in-queue %llu, degraded %llu\n",
+      storm_seconds, static_cast<unsigned long long>(published),
+      metric("serving_breaker_opens_total"),
+      metric("serving_breaker_half_opens_total"),
+      metric("serving_breaker_closes_total"),
+      metric("serving_persistent_failure_churn_total"),
+      metric("serving_executes_total"),
+      metric("serving_deadline_expired_in_queue_total"),
+      metric("serving_degraded_serves_total"));
+
+  // ------------------------------------------------------------ the bars --
+  bool ok = true;
+  auto bar = [&ok](bool passed, const char* what) {
+    std::printf("%s  %s\n", passed ? "PASS" : "FAIL", what);
+    ok = ok && passed;
+  };
+  std::printf("\n");
+  bar(wave_a.all_fulfilled && wave_b.all_fulfilled &&
+          storm.unfulfilled == 0,
+      "every admitted future was fulfilled (wave + storm)");
+  bar(wave_a.post_deadline_dispatches == 0 &&
+          metric("serving_post_deadline_dispatch_total") == 0,
+      "zero post-deadline dispatches");
+  bar(starvation_bounded,
+      "light tenant dispatched within its weighted-fair bound");
+  bar(wave_a.transcript == wave_b.transcript &&
+          wave_a.expired_in_queue == wave_b.expired_in_queue &&
+          wave_a.degraded_serves == wave_b.degraded_serves &&
+          wave_a.expired_in_queue == 2 && wave_a.degraded_serves == 2,
+      "shed/degrade decisions replay bit-identically at a fixed seed");
+  bar(storm.adversary_quota_rejections > 0 && storm.unexpected == 0,
+      "quota clamps the adversary; every other outcome is a defined class");
+  bar(live_epochs == 1,
+      "one live epoch after the storm drains (leases reclaimed)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mube
+
+int main() { return mube::Main(); }

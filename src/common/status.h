@@ -29,6 +29,7 @@ enum class StatusCode : int8_t {
   kInfeasible = 9,  ///< Optimization/matching problem has no feasible answer.
   kUnavailable = 10,        ///< A source failed to answer (transient or down).
   kDeadlineExceeded = 11,   ///< The per-query time budget ran out.
+  kResourceExhausted = 12,  ///< A per-caller quota (not global capacity) hit.
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -93,6 +94,9 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -107,6 +111,9 @@ class [[nodiscard]] Status {
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<code name>: <message>".

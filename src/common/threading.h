@@ -1,6 +1,7 @@
 #ifndef MUBE_COMMON_THREADING_H_
 #define MUBE_COMMON_THREADING_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -69,6 +70,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's Mutex
+  }
+
+  /// Bounded Wait: blocks at most `timeout_seconds`. Returns false when the
+  /// wait timed out, true when it was notified (possibly spuriously —
+  /// callers must still re-check their predicate either way and track their
+  /// own deadline across iterations).
+  bool WaitFor(Mutex* mu, double timeout_seconds) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds));
+    lock.release();  // ownership stays with the caller's Mutex
+    return status == std::cv_status::no_timeout;
   }
 
   void Signal() { cv_.notify_one(); }

@@ -131,7 +131,7 @@ Result<ExecutionReport> ReliableExecutor::Execute(const Query& query) {
   std::unordered_map<uint64_t, size_t> row_of;
   const double t0 = clock_ms_;
   const CircuitBreaker::Transitions transitions_before =
-      breakers_.TotalTransitions();
+      bank().TotalTransitions();
   const double deadline =
       options_.retry.query_deadline_ms > 0.0
           ? options_.retry.query_deadline_ms
@@ -164,7 +164,7 @@ Result<ExecutionReport> ReliableExecutor::Execute(const Query& query) {
     // Each candidate's timeline starts at query start (parallel fan-out).
     double elapsed = 0.0;
     CircuitBreaker* breaker =
-        options_.use_breakers ? &breakers_.For(sid) : nullptr;
+        options_.use_breakers ? &bank().For(sid) : nullptr;
     if (breaker != nullptr && !breaker->AllowRequest(t0)) {
       // Open breaker: the source is presumed down; don't burn the deadline
       // budget on it. No new evidence, so the persistence streak holds.
@@ -339,7 +339,7 @@ Result<ExecutionReport> ReliableExecutor::Execute(const Query& query) {
   }
 
   const CircuitBreaker::Transitions transitions_after =
-      breakers_.TotalTransitions();
+      bank().TotalTransitions();
   report.breaker_opens = transitions_after.opens - transitions_before.opens;
   report.breaker_half_opens =
       transitions_after.half_opens - transitions_before.half_opens;

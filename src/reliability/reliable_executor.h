@@ -157,6 +157,17 @@ class ReliableExecutor {
     signatures_ = cache;
   }
 
+  /// Attaches an externally owned breaker bank (not owned; must outlive the
+  /// executor). The serving layer uses this so breaker state survives
+  /// short-lived per-request executors and epoch publishes. When unset the
+  /// executor's own private bank is used.
+  void set_breaker_bank(BreakerBank* bank) { external_breakers_ = bank; }
+
+  /// Seeds the simulated clock. Breaker open/half-open cooldowns compare
+  /// against this clock, so a shared bank only works if every executor
+  /// resumes where the previous one left off.
+  void set_clock_ms(double ms) { clock_ms_ = ms; }
+
   /// Runs `query` resiliently. Statuses are reserved for *caller* errors
   /// (invalid query); source failures are data, reported in the
   /// ExecutionReport, not errors. Advances the simulated clock and the
@@ -172,7 +183,8 @@ class ReliableExecutor {
   std::vector<ChurnEvent> DrainPersistentFailureEvents();
 
   const ReliabilityStats& stats() const { return stats_; }
-  const BreakerBank& breakers() const { return breakers_; }
+  /// The active bank: the external one when attached, else the private one.
+  const BreakerBank& breakers() const { return bank(); }
   /// The executor's simulated clock (ms advanced across all queries).
   double clock_ms() const { return clock_ms_; }
   const MediatedSchema& schema() const { return schema_; }
@@ -185,6 +197,10 @@ class ReliableExecutor {
     bool reported_persistent = false;
   };
 
+  BreakerBank& bank() const {
+    return external_breakers_ != nullptr ? *external_breakers_ : breakers_;
+  }
+
   const Universe& universe_;
   std::vector<uint32_t> sources_;
   MediatedSchema schema_;
@@ -192,7 +208,8 @@ class ReliableExecutor {
   std::vector<SourceEngine> engines_;
   FaultInjector* faults_ = nullptr;
   const SignatureCache* signatures_ = nullptr;
-  BreakerBank breakers_;
+  mutable BreakerBank breakers_;
+  BreakerBank* external_breakers_ = nullptr;
   ReliabilityStats stats_;
   std::map<uint32_t, SourceState> source_state_;
   double clock_ms_ = 0.0;

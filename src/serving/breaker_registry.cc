@@ -1,0 +1,45 @@
+#include "serving/breaker_registry.h"
+
+namespace mube {
+
+void BreakerRegistry::FoldReport(const ExecutionReport& report) {
+  for (const SourceScanLog& log : report.scans) {
+    Streak& streak = streaks_[log.source_id];
+    switch (log.status) {
+      case ScanStatus::kOk:
+        streak.consecutive_failures = 0;
+        streak.ever_succeeded = true;
+        streak.reported_persistent = false;
+        break;
+      case ScanStatus::kFailed:
+        // Only scans that issued attempts are evidence; a kFailed log with
+        // zero attempts cannot occur today but would carry none either.
+        if (log.attempts > 0) ++streak.consecutive_failures;
+        break;
+      case ScanStatus::kShortCircuited:
+      case ScanStatus::kDeadlineSkipped:
+      case ScanStatus::kSkippedCannotAnswer:
+        break;  // no new evidence about the source itself
+    }
+  }
+}
+
+std::vector<ChurnEvent> BreakerRegistry::DrainPersistentFailures(
+    const Universe& universe) {
+  std::vector<ChurnEvent> events;
+  for (auto& [sid, streak] : streaks_) {
+    if (streak.reported_persistent) continue;
+    if (streak.consecutive_failures < persistent_failure_threshold_) continue;
+    streak.reported_persistent = true;
+    // A racing admin batch may have retired the source already; emitting an
+    // event against a dead name would poison the whole all-or-nothing batch.
+    if (sid >= universe.size() || !universe.alive(sid)) continue;
+    const std::string& name = universe.source(sid).name();
+    events.push_back(streak.ever_succeeded
+                         ? ChurnEvent::SetCooperative(name, false)
+                         : ChurnEvent::RemoveSource(name));
+  }
+  return events;
+}
+
+}  // namespace mube

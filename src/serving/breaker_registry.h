@@ -1,0 +1,100 @@
+#ifndef MUBE_SERVING_BREAKER_REGISTRY_H_
+#define MUBE_SERVING_BREAKER_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dynamic/churn.h"
+#include "reliability/circuit_breaker.h"
+#include "reliability/reliable_executor.h"
+#include "schema/universe.h"
+
+/// \file breaker_registry.h
+/// Service-owned circuit-breaker state. The Execute path constructs a fresh
+/// ReliableExecutor per request against whatever epoch the dispatcher
+/// leased — if each executor also owned its breakers, every request would
+/// start with amnesia: a source that failed a hundred scans ago would be
+/// probed again at full cost, and epoch publishes would reset the learned
+/// failure history. The registry fixes both: it owns the BreakerBank and
+/// the per-source persistence streaks, outliving executors and epochs
+/// alike, and per-request executors borrow it via
+/// ReliableExecutor::set_breaker_bank / set_clock_ms.
+///
+/// It also owns the accumulated simulated clock. Breaker open-cooldowns are
+/// expressed on the executors' simulated cost_ms timeline; the registry
+/// threads that timeline across requests so "open for 2000 ms" means 2000
+/// simulated ms of *service* history, not of one executor's lifetime.
+///
+/// Concurrency: the registry is NOT internally synchronized. The service
+/// serializes all Execute work on its dispatcher thread (the shared bank,
+/// streaks, and clock are exactly why), so every mutation happens there;
+/// external readers (tests, benches) must quiesce the service first —
+/// MubeService::Drain() publishes the dispatcher's writes to the caller.
+
+namespace mube {
+
+/// \brief Breaker bank + persistence streaks + simulated clock that survive
+/// individual executions and epoch publishes.
+class BreakerRegistry {
+ public:
+  explicit BreakerRegistry(CircuitBreakerOptions options = {},
+                           size_t persistent_failure_threshold = 3)
+      : bank_(options),
+        persistent_failure_threshold_(persistent_failure_threshold) {}
+
+  BreakerRegistry(const BreakerRegistry&) = delete;
+  BreakerRegistry& operator=(const BreakerRegistry&) = delete;
+
+  /// The shared bank, for ReliableExecutor::set_breaker_bank.
+  BreakerBank* bank() { return &bank_; }
+  const BreakerBank& bank() const { return bank_; }
+
+  /// The accumulated simulated clock (ms). Seed each per-request executor
+  /// with this via set_clock_ms, then AdvanceClockTo the executor's final
+  /// clock once it returns.
+  double clock_ms() const { return clock_ms_; }
+  void AdvanceClockTo(double ms) {
+    if (ms > clock_ms_) clock_ms_ = ms;
+  }
+
+  /// Folds one execution's scan outcomes into the cross-request persistence
+  /// streaks, mirroring ReliableExecutor's own per-executor accounting:
+  /// an answered scan resets the streak (and re-arms reporting); a failed
+  /// scan that actually issued attempts extends it; short-circuits and
+  /// deadline skips carry no new evidence and leave the streak untouched.
+  void FoldReport(const ExecutionReport& report);
+
+  /// Sources whose streak crossed persistent_failure_threshold since their
+  /// last success, as churn events resolvable against `universe` (the
+  /// current epoch): a source that answered before is set uncooperative, one
+  /// that never answered is removed. Events addressing sources `universe`
+  /// has already retired are dropped — the batch must stay individually
+  /// applicable because SnapshotManager::ApplyChurn is all-or-nothing.
+  /// Each source is reported once; a later success re-arms it.
+  std::vector<ChurnEvent> DrainPersistentFailures(const Universe& universe);
+
+  CircuitBreaker::Transitions TotalTransitions() const {
+    return bank_.TotalTransitions();
+  }
+
+  size_t persistent_failure_threshold() const {
+    return persistent_failure_threshold_;
+  }
+
+ private:
+  struct Streak {
+    size_t consecutive_failures = 0;
+    bool ever_succeeded = false;
+    bool reported_persistent = false;
+  };
+
+  BreakerBank bank_;
+  const size_t persistent_failure_threshold_;
+  std::map<uint32_t, Streak> streaks_;
+  double clock_ms_ = 0.0;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_SERVING_BREAKER_REGISTRY_H_

@@ -2,17 +2,24 @@
 #define MUBE_SERVING_SERVICE_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/thread_annotations.h"
 #include "common/threading.h"
 #include "common/timer.h"
 #include "core/mube.h"
+#include "exec/query.h"
 #include "metrics/metrics.h"
+#include "reliability/fault_injector.h"
+#include "reliability/reliable_executor.h"
+#include "serving/breaker_registry.h"
 #include "serving/snapshot.h"
 #include "serving/tenant.h"
 
@@ -25,16 +32,47 @@
 /// catalog churn (ApplyChurn) builds the next epoch concurrently without
 /// ever blocking in-flight requests (src/serving/snapshot.h).
 ///
+/// Two request kinds flow through the same queue:
+///  - **Refine** — run a µBE iteration (or portfolio) under the tenant's
+///    constraint state; fanned out per batch via ThreadPool::ParallelFor.
+///  - **Execute** — run the tenant's incumbent selection as a resilient
+///    mediated query (src/reliability/) against the leased epoch. Execute
+///    requests are served *serially in dispatch order on the dispatcher
+///    thread*: the breaker bank, persistence streaks, simulated clock, and
+///    fault injector are shared mutable state, and serializing them is what
+///    makes a fixed request stream bitwise-reproducible.
+///
+/// Resilience semantics (DESIGN.md §10 has the full state machine):
+///  - **Deadline propagation.** A request may carry `deadline_ms` on the
+///    service clock; queue wait consumes it. An expired request is shed at
+///    dispatch with kDeadlineExceeded *before* any engine work, and the
+///    remaining budget of a live Execute becomes the executor's simulated
+///    deadline budget.
+///  - **Per-tenant quotas + weighted-fair dispatch.** Admission tracks
+///    queue depth per tenant: beyond `per_tenant_quota` a Submit fails with
+///    kResourceExhausted (plus a retry-after hint) — deliberately distinct
+///    from the global-capacity kUnavailable so clients can tell "I am over
+///    my share" from "the service is overloaded". The dispatcher drains
+///    per-tenant queues round-robin in tenant-name order, up to each
+///    tenant's dispatch weight per turn, so a burst from one tenant cannot
+///    starve the others (bounded by the sum of weights per cycle).
+///  - **Graceful degradation.** When a request's remaining budget at serve
+///    time is under `degrade_threshold_ms`, the tenant's cached incumbent
+///    (Refine) or cached report (Execute) is served stale-marked instead of
+///    starting a run that cannot finish in time.
+///  - **Breaker persistence.** Circuit-breaker state lives in a
+///    service-owned BreakerRegistry (src/serving/breaker_registry.h), so it
+///    survives epoch publishes; persistent failures drain into churn events
+///    that are fed back through ApplyChurn.
+///
 /// Determinism: a request carries its own explicit seed, and Mube::Run is a
 /// pure function of (epoch state, RunSpec). A fixed request stream against
 /// a fixed churn schedule therefore produces the same selections per epoch
 /// no matter how requests interleave across batches or pool workers — the
-/// serving bench asserts exactly this.
-///
-/// Batching: the dispatcher drains up to `max_batch` queued requests,
-/// acquires ONE snapshot lease for the whole batch, and fans the requests
-/// out with ThreadPool::ParallelFor — the dispatcher thread itself helps
-/// execute, so a single-request batch degenerates to a plain inline call.
+/// serving bench asserts exactly this. Shed/degrade decisions additionally
+/// depend on the service clock; injecting `ServiceOptions::clock_ms` (plus
+/// PauseDispatch/ResumeDispatch to stage the queue) pins those decisions,
+/// which is how bench/chaos_serving replays them bit-identically.
 
 namespace mube {
 
@@ -49,6 +87,24 @@ struct ServiceOptions {
   /// Worker parallelism of the batch pool, including the dispatcher
   /// (0 = hardware concurrency).
   unsigned worker_threads = 0;
+  /// Max requests one tenant may have queued at once; beyond it Submit
+  /// fails with kResourceExhausted. 0 disables the quota.
+  size_t per_tenant_quota = 0;
+  /// Remaining-budget floor (service-clock ms): a deadline request reaching
+  /// the serve point with less than this degrades to the tenant's cached
+  /// answer instead of starting a fresh run. 0 disables degradation.
+  double degrade_threshold_ms = 0.0;
+  /// The service clock, in ms from an arbitrary origin. Null (default) uses
+  /// a wall timer started at Create. Injected clocks must be monotonic,
+  /// callable from any thread, and are what makes shed/degrade decisions
+  /// replayable — see bench/chaos_serving.
+  std::function<double()> clock_ms;
+  /// Execute-path knobs: retries, breakers, persistence threshold. The
+  /// breaker options seed the service's BreakerRegistry.
+  ReliabilityOptions reliability;
+  /// Execute-path fault schedule (not owned; may be null = healthy).
+  /// Injector state advances once per scan attempt in dispatch order.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// \brief One tenant request: run a µBE iteration (or a portfolio of
@@ -60,6 +116,9 @@ struct RefineRequest {
   uint64_t seed = 1;
   /// > 1: RunAlternatives portfolio of this size; 0 or 1: single Run.
   size_t alternatives = 0;
+  /// Deadline budget on the service clock, consumed from Submit onward.
+  /// 0 = no deadline.
+  double deadline_ms = 0.0;
 };
 
 /// \brief What came back.
@@ -67,6 +126,9 @@ struct RefineResponse {
   Status status = Status::OK();
   /// Best-first; exactly one element for single-Run requests.
   std::vector<MubeResult> results;
+  /// True when the deadline budget forced serving the tenant's cached
+  /// incumbent instead of running — `results` is stale by construction.
+  bool degraded = false;
   /// Epoch the request was served against.
   uint64_t epoch = 0;
   /// Epochs published between serving and completion of this request —
@@ -74,19 +136,75 @@ struct RefineResponse {
   uint64_t staleness_epochs = 0;
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
+  /// Position in the service's global dispatch order (1-based; 0 for
+  /// requests that were never dispatched, i.e. shed in the queue). The
+  /// fairness tests bound per-tenant starvation through this.
+  uint64_t dispatch_sequence = 0;
+};
+
+/// \brief One resilient mediated query against the tenant's incumbent
+/// selection (the best solution of its last successful Refine).
+struct ExecuteRequest {
+  std::string tenant;
+  Query query;
+  /// Deadline budget on the service clock; the unspent remainder at serve
+  /// time also caps the executor's simulated per-query budget.
+  /// 0 = no deadline.
+  double deadline_ms = 0.0;
+};
+
+/// \brief What a resilient execution came back with.
+struct ExecuteResponse {
+  Status status = Status::OK();
+  /// The full reliability report (outcome, merged rows, per-scan logs,
+  /// breaker transitions, completeness). Meaningful only when status is OK.
+  ExecutionReport report;
+  /// True when the deadline budget forced re-serving the tenant's cached
+  /// report — `report` describes an *earlier* execution.
+  bool degraded = false;
+  uint64_t epoch = 0;
+  uint64_t staleness_epochs = 0;
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// See RefineResponse::dispatch_sequence.
+  uint64_t dispatch_sequence = 0;
 };
 
 /// \brief Completion handle for a submitted request. Copyable (all copies
 /// share one result slot); Wait() blocks until the dispatcher fulfills it.
-class ResponseFuture {
+template <typename ResponseT>
+class ServingFuture {
  public:
-  ResponseFuture() = default;
+  ServingFuture() = default;
 
   bool valid() const { return state_ != nullptr; }
-  bool Ready() const;
+  bool Ready() const {
+    MUBE_CHECK(state_ != nullptr);
+    MutexLock lock(&state_->mu);
+    return state_->done;
+  }
   /// Blocks until the response is set, then returns a copy of it. Must not
   /// be called on an invalid future.
-  RefineResponse Wait() const;
+  ResponseT Wait() const {
+    MUBE_CHECK(state_ != nullptr);
+    MutexLock lock(&state_->mu);
+    while (!state_->done) state_->cv.Wait(&state_->mu);
+    return state_->response;
+  }
+  /// Bounded Wait: blocks at most `timeout_seconds`, returning nullopt on
+  /// timeout. Tests and callers that must never hang on a lost fulfillment
+  /// use this instead of Wait().
+  std::optional<ResponseT> WaitFor(double timeout_seconds) const {
+    MUBE_CHECK(state_ != nullptr);
+    const WallTimer timer;
+    MutexLock lock(&state_->mu);
+    while (!state_->done) {
+      const double remaining = timeout_seconds - timer.ElapsedSeconds();
+      if (remaining <= 0.0) return std::nullopt;
+      (void)state_->cv.WaitFor(&state_->mu, remaining);
+    }
+    return state_->response;
+  }
 
  private:
   friend class MubeService;
@@ -94,11 +212,14 @@ class ResponseFuture {
     Mutex mu;
     CondVar cv;
     bool done GUARDED_BY(mu) = false;
-    RefineResponse response GUARDED_BY(mu);
+    ResponseT response GUARDED_BY(mu);
   };
 
   std::shared_ptr<State> state_;
 };
+
+using ResponseFuture = ServingFuture<RefineResponse>;
+using ExecuteFuture = ServingFuture<ExecuteResponse>;
 
 /// \brief The long-lived multi-tenant service.
 class MubeService {
@@ -124,14 +245,23 @@ class MubeService {
   /// The named tenant, or nullptr.
   Tenant* FindTenant(const std::string& name) const EXCLUDES(tenants_mu_);
 
-  /// Enqueues a request. Fails fast with Unavailable when the queue is at
-  /// capacity (admission control) or the service is stopping, NotFound for
-  /// an unregistered tenant.
+  /// Enqueues a Refine. Fails fast with Unavailable when the global queue
+  /// is at capacity or the service is stopping, ResourceExhausted (with a
+  /// retry-after hint in the message) when the tenant is over its quota,
+  /// NotFound for an unregistered tenant.
   Result<ResponseFuture> Submit(RefineRequest request) EXCLUDES(mu_);
+
+  /// Enqueues an Execute; same admission rules as Submit. The request runs
+  /// the tenant's incumbent selection, so a tenant must have completed one
+  /// successful Refine first (FailedPrecondition arrives in the response
+  /// otherwise — admission cannot know what the incumbent will be at serve
+  /// time).
+  Result<ExecuteFuture> SubmitExecute(ExecuteRequest request) EXCLUDES(mu_);
 
   /// Submit + Wait convenience for synchronous callers; admission or
   /// tenant-resolution failures arrive as the response's status.
   RefineResponse Refine(RefineRequest request);
+  ExecuteResponse Execute(ExecuteRequest request);
 
   /// Publishes the next catalog epoch (all-or-nothing; see
   /// SnapshotManager::ApplyChurn). Safe to call at any time — concurrent
@@ -139,36 +269,100 @@ class MubeService {
   Status ApplyChurn(const std::vector<ChurnEvent>& events);
 
   /// Blocks until every request submitted before this call has completed.
+  /// A paused dispatcher (PauseDispatch) must be resumed first or Drain
+  /// waits forever on the staged work.
   void Drain() EXCLUDES(mu_);
 
   /// Stops accepting requests, drains the queue, joins the dispatcher.
-  /// Idempotent.
+  /// Idempotent. Overrides a pause — admitted work is still served.
   void Stop();
 
+  /// \name Dispatch staging
+  /// Pauses/resumes the dispatcher between batches. While paused, Submit
+  /// keeps admitting (the queue fills; deadlines keep burning on the
+  /// service clock) but nothing dispatches. The chaos bench stages a whole
+  /// wave, advances its injected clock, then resumes — making every
+  /// shed/degrade decision a pure function of the staged state.
+  /// @{
+  void PauseDispatch() EXCLUDES(mu_);
+  void ResumeDispatch() EXCLUDES(mu_);
+  /// @}
+
   SnapshotManager& snapshots() { return *snapshots_; }
+  /// Execute-path breaker/persistence state (see class docs for the
+  /// read-after-Drain discipline).
+  const BreakerRegistry& breaker_registry() const { return breakers_; }
   const ServiceOptions& options() const { return options_; }
+
+  /// The service clock (ms): the injected clock when configured, else wall
+  /// time since Create.
+  double NowMs() const;
 
  private:
   struct Pending {
-    RefineRequest request;
-    std::shared_ptr<ResponseFuture::State> state;
-    WallTimer queued;  // started at Submit
+    /// Exactly one of refine_state/execute_state is set; it discriminates
+    /// which request field is live.
+    RefineRequest refine;
+    std::shared_ptr<ResponseFuture::State> refine_state;
+    ExecuteRequest execute;
+    std::shared_ptr<ExecuteFuture::State> execute_state;
+    /// Service clock at admission; deadline_ms counts from here.
+    double admitted_ms = 0.0;
+    double deadline_ms = 0.0;  // 0 = none
+    WallTimer queued;          // started at Submit (for queue_seconds)
+    uint64_t dispatch_sequence = 0;
+
+    bool is_execute() const { return execute_state != nullptr; }
+    const std::string& tenant_name() const {
+      return is_execute() ? execute.tenant : refine.tenant;
+    }
   };
 
-  explicit MubeService(ServiceOptions options) : options_(options) {}
+  explicit MubeService(ServiceOptions options)
+      : options_(options),
+        breakers_(options.reliability.breaker,
+                  options.reliability.persistent_failure_threshold) {}
+
+  /// Common admission path. On success moves `pending` into its tenant's
+  /// queue and stamps admitted_ms.
+  Status Admit(Pending pending) EXCLUDES(mu_, tenants_mu_);
 
   void DispatcherLoop() EXCLUDES(mu_);
+  /// Pops the next weighted-fair batch (caller holds mu_). Expired entries
+  /// go to `shed` instead of the batch.
+  void PopBatch(double now_ms, std::vector<Pending>* batch,
+                std::vector<Pending>* shed) REQUIRES(mu_);
+  /// Fulfills queue-expired requests with kDeadlineExceeded.
+  void ShedExpired(std::vector<Pending>* shed);
   /// Serves one drained batch under a single snapshot lease.
   void ServeBatch(std::vector<Pending>* batch);
-  /// Serves one request against the leased epoch (runs on a pool worker).
+  /// Serves one Refine against the leased epoch (runs on a pool worker).
   RefineResponse ServeOne(const Pending& pending,
                           const SnapshotManager::Lease& lease);
-  static void Fulfill(const std::shared_ptr<ResponseFuture::State>& state,
-                      RefineResponse response);
+  /// Serves one Execute against the leased epoch. Dispatcher thread only:
+  /// mutates the shared breaker registry / fault injector. Appends any
+  /// persistent-failure churn to `churn_out` for post-batch application.
+  ExecuteResponse ServeExecute(const Pending& pending,
+                               const SnapshotManager::Lease& lease,
+                               std::vector<ChurnEvent>* churn_out);
+
+  template <typename ResponseT>
+  static void Fulfill(
+      const std::shared_ptr<typename ServingFuture<ResponseT>::State>& state,
+      ResponseT response);
+
+  /// Remaining deadline budget (ms) of `pending` at `now_ms`: +inf when the
+  /// request has no deadline.
+  static double RemainingMs(const Pending& pending, double now_ms);
 
   const ServiceOptions options_;
   std::unique_ptr<SnapshotManager> snapshots_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Execute-path breaker bank / persistence streaks / simulated clock.
+  /// Mutated only on the dispatcher thread (Execute is serialized); reads
+  /// from other threads require a Drain() first.
+  BreakerRegistry breakers_;
+  WallTimer clock_timer_;  // NowMs origin when no clock is injected
 
   mutable Mutex tenants_mu_;
   std::map<std::string, std::unique_ptr<Tenant>> tenants_
@@ -177,9 +371,21 @@ class MubeService {
   mutable Mutex mu_;
   CondVar work_cv_;
   CondVar idle_cv_;
-  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  /// Per-tenant FIFO queues, drained round-robin in name order. The map
+  /// retains empty deques (tenant count is small and bounded).
+  std::map<std::string, std::deque<Pending>> tenant_queues_ GUARDED_BY(mu_);
+  /// Dispatch weight per tenant, cached at Submit so the dispatcher never
+  /// takes tenant locks under mu_.
+  std::map<std::string, size_t> tenant_weights_ GUARDED_BY(mu_);
+  /// Total entries across tenant_queues_ (global capacity check).
+  size_t queued_total_ GUARDED_BY(mu_) = 0;
+  /// Name of the tenant the next dispatch turn starts at (round-robin
+  /// cursor; "" = from the first tenant).
+  std::string dispatch_cursor_ GUARDED_BY(mu_);
+  uint64_t dispatch_counter_ GUARDED_BY(mu_) = 0;
   size_t in_flight_ GUARDED_BY(mu_) = 0;
   bool stopping_ GUARDED_BY(mu_) = false;
+  bool paused_ GUARDED_BY(mu_) = false;
   std::thread dispatcher_;
 
   Counter* requests_total_ = nullptr;
@@ -190,6 +396,16 @@ class MubeService {
   Histogram* queue_seconds_ = nullptr;
   Histogram* request_run_seconds_ = nullptr;
   Histogram* staleness_epochs_ = nullptr;
+  Counter* quota_rejected_ = nullptr;
+  Counter* deadline_expired_in_queue_ = nullptr;
+  Counter* deadline_expired_at_serve_ = nullptr;
+  Counter* post_deadline_dispatch_ = nullptr;
+  Counter* degraded_serves_ = nullptr;
+  Counter* executes_total_ = nullptr;
+  Counter* breaker_opens_ = nullptr;
+  Counter* breaker_half_opens_ = nullptr;
+  Counter* breaker_closes_ = nullptr;
+  Counter* persistent_failure_churn_ = nullptr;
 };
 
 }  // namespace mube

@@ -2,6 +2,7 @@
 #define MUBE_SERVING_TENANT_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,28 @@
 /// per-tenant mutex; BuildRunSpec takes a consistent atomic copy.
 
 namespace mube {
+
+/// \brief Per-tenant serving outcome counters, maintained by MubeService.
+/// These are the tenant-granular complement of the aggregate registry
+/// metrics (Prometheus metric names cannot carry a tenant label here).
+struct TenantServingStats {
+  size_t admitted = 0;        ///< requests accepted into the queue
+  size_t served_ok = 0;       ///< requests completed with an OK status
+  size_t shed_deadline = 0;   ///< shed with kDeadlineExceeded before serving
+  size_t rejected_quota = 0;  ///< rejected with kResourceExhausted at Submit
+  size_t degraded = 0;        ///< served the stale cached incumbent/report
+  size_t executes = 0;        ///< Execute requests served (not shed/degraded)
+};
+
+/// \brief One serving event, recorded against TenantServingStats.
+enum class TenantServingEvent {
+  kAdmitted,
+  kServedOk,
+  kShedDeadline,
+  kRejectedQuota,
+  kDegraded,
+  kExecute,
+};
 
 /// \brief One tenant's constraint state over the shared snapshots.
 class Tenant {
@@ -70,6 +93,42 @@ class Tenant {
   /// next biased RunSpec selects around sources *it* observed failing).
   void RecordExecution(const ExecutionReport& report) EXCLUDES(mu_);
 
+  /// \name Dispatch weight
+  /// Deterministic weighted-fair share: the dispatcher grants this tenant
+  /// up to `weight` slots per round-robin turn. Must be >= 1; default 1.
+  /// @{
+  Status SetDispatchWeight(size_t weight) EXCLUDES(mu_);
+  size_t dispatch_weight() const EXCLUDES(mu_);
+  /// @}
+
+  /// \name Incumbent cache
+  /// The service records the best result of every successful Refine here.
+  /// It doubles as (a) the selection Execute runs against, and (b) the
+  /// stale answer served when a deadline leaves no budget for a fresh run.
+  /// @{
+  void SetIncumbent(MubeResult result) EXCLUDES(mu_);
+  std::optional<MubeResult> incumbent() const EXCLUDES(mu_);
+  /// @}
+
+  /// \name Cached execution report
+  /// The last non-failed Execute answer, re-served stale-marked when an
+  /// Execute arrives with too little remaining budget for a real run.
+  /// @{
+  void CacheReport(ExecutionReport report) EXCLUDES(mu_);
+  std::optional<ExecutionReport> cached_report() const EXCLUDES(mu_);
+  /// @}
+
+  /// \name Serving bookkeeping (maintained by MubeService)
+  /// @{
+  void RecordServingEvent(TenantServingEvent event) EXCLUDES(mu_);
+  TenantServingStats serving_stats() const EXCLUDES(mu_);
+  /// Feeds one served request's engine/executor seconds into the EWMA the
+  /// quota-rejection retry-after hint is derived from.
+  void ObserveServeSeconds(double seconds) EXCLUDES(mu_);
+  /// Exponentially weighted average serve time (0 until first observation).
+  double ewma_serve_seconds() const EXCLUDES(mu_);
+  /// @}
+
   /// Assembles the RunSpec for `universe` (the leased epoch's catalog):
   /// current pins minus retired sources, GA constraints dropped whole when
   /// any member's source is gone, knobs, health feedback, and `seed` —
@@ -90,6 +149,11 @@ class Tenant {
   double health_bias_ GUARDED_BY(mu_) = 0.0;
   /// (ok, failed) scan counts per source this tenant executed against.
   std::map<uint32_t, std::pair<size_t, size_t>> scan_counts_ GUARDED_BY(mu_);
+  size_t dispatch_weight_ GUARDED_BY(mu_) = 1;
+  std::optional<MubeResult> incumbent_ GUARDED_BY(mu_);
+  std::optional<ExecutionReport> cached_report_ GUARDED_BY(mu_);
+  TenantServingStats serving_stats_ GUARDED_BY(mu_);
+  double ewma_serve_seconds_ GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace mube

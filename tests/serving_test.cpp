@@ -7,8 +7,10 @@
 // against pinned epochs while churn builds and publishes the next one.
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -21,7 +23,9 @@
 #include "dynamic/churn.h"
 #include "dynamic/delta_universe.h"
 #include "metrics/metrics.h"
+#include "reliability/fault_injector.h"
 #include "schema/universe.h"
+#include "serving/breaker_registry.h"
 #include "serving/service.h"
 #include "serving/snapshot.h"
 #include "serving/tenant.h"
@@ -362,6 +366,30 @@ ServiceOptions SmallServiceOptions() {
   return options;
 }
 
+/// Bounded future waits: a lost fulfillment must fail the test loudly, not
+/// hang the suite. 60 s dwarfs any legitimate serve time here.
+template <typename FutureT>
+auto BoundedWait(const FutureT& future) {
+  auto response = future.WaitFor(60.0);
+  if (!response.has_value()) {
+    ADD_FAILURE() << "future was not fulfilled within 60 s";
+    response.emplace();
+    response->status = Status::DeadlineExceeded("test wait timed out");
+  }
+  return *std::move(response);
+}
+
+/// A successful Refine that installs `tenant`'s incumbent (Execute's
+/// prerequisite).
+void SeedIncumbent(MubeService* service, const std::string& tenant,
+                   uint64_t seed = 5) {
+  RefineRequest request;
+  request.tenant = tenant;
+  request.seed = seed;
+  const RefineResponse response = service->Refine(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+}
+
 TEST(MubeServiceTest, RegisterRefineAndAlternatives) {
   std::unique_ptr<MubeService> service =
       MubeService::Create(SmallUniverse(), FastConfig(),
@@ -449,7 +477,7 @@ TEST(MubeServiceTest, FixedSeedStreamIsDeterministicPerEpoch) {
     }
     std::map<std::pair<uint64_t, uint64_t>, std::vector<uint32_t>> by_key;
     for (int i = 0; i < 12; ++i) {
-      const RefineResponse response = futures[i].Wait();
+      const RefineResponse response = BoundedWait(futures[i]);
       EXPECT_TRUE(response.status.ok()) << response.status.ToString();
       const uint64_t seed = 1 + (i % 3);
       auto [it, inserted] = by_key.try_emplace(
@@ -506,7 +534,7 @@ TEST(MubeServiceTest, AdmissionControlRejectsWhenTheQueueIsFull) {
   service->Drain();
   for (const ResponseFuture& future : accepted) {
     EXPECT_TRUE(future.Ready());
-    EXPECT_TRUE(future.Wait().status.ok());
+    EXPECT_TRUE(BoundedWait(future).status.ok());
   }
 }
 
@@ -526,7 +554,7 @@ TEST(MubeServiceTest, StopDrainsAdmittedWorkAndRejectsNew) {
 
   // Work admitted before Stop() completes; work after is turned away.
   EXPECT_TRUE(admitted.Ready());
-  EXPECT_TRUE(admitted.Wait().status.ok());
+  EXPECT_TRUE(BoundedWait(admitted).status.ok());
   EXPECT_EQ(service->Submit(request).status().code(),
             StatusCode::kUnavailable);
   EXPECT_EQ(service->Refine(request).status.code(),
@@ -567,7 +595,7 @@ TEST(MubeServiceTest, ChurnNeverBlocksInFlightRequests) {
   }
   service->Drain();
   for (const ResponseFuture& future : futures) {
-    const RefineResponse response = future.Wait();
+    const RefineResponse response = BoundedWait(future);
     EXPECT_TRUE(response.status.ok()) << response.status.ToString();
     EXPECT_LE(response.epoch, 4u);
   }
@@ -599,6 +627,462 @@ TEST(MubeServiceTest, ChurnNeverBlocksInFlightRequests) {
             std::string::npos);
   EXPECT_NE(text.find("serving_staleness_epochs_bucket"),
             std::string::npos);
+}
+
+// ------------------------------------------------- Resilient Execute path --
+
+TEST(MubeServiceTest, ExecuteRunsTheIncumbentSelectionResiliently) {
+  MetricsRegistry registry;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(SmallUniverse(), FastConfig(),
+                          SmallServiceOptions(), &registry)
+          .ValueOrDie();
+  ASSERT_TRUE(service->RegisterTenant("alice").ok());
+
+  ExecuteRequest request;
+  request.tenant = "nobody";
+  EXPECT_EQ(service->Execute(request).status.code(), StatusCode::kNotFound);
+
+  // Execute needs a selection to run: before any successful Refine there is
+  // no incumbent, and the response says so instead of guessing one.
+  request.tenant = "alice";
+  EXPECT_EQ(service->Execute(request).status.code(),
+            StatusCode::kFailedPrecondition);
+
+  SeedIncumbent(service.get(), "alice");
+  const ExecuteResponse response = service->Execute(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(response.report.outcome, QueryOutcome::kAnswered);
+  EXPECT_GE(response.report.sources_succeeded, 1u);
+  EXPECT_FALSE(response.report.result.records.empty());
+  EXPECT_GT(response.dispatch_sequence, 0u);
+
+  const Tenant* alice = service->FindTenant("alice");
+  EXPECT_EQ(alice->serving_stats().executes, 1u);
+  EXPECT_EQ(registry.GetCounter("serving_executes_total")->Value(), 1u);
+  // A healthy run is cached for future degraded serves.
+  EXPECT_TRUE(alice->cached_report().has_value());
+}
+
+TEST(MubeServiceTest, QueueExpiredDeadlinesAreShedBeforeDispatch) {
+  std::atomic<double> clock{0.0};
+  MetricsRegistry registry;
+  ServiceOptions options = SmallServiceOptions();
+  options.clock_ms = [&clock] { return clock.load(); };
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(SmallUniverse(), FastConfig(), options, &registry)
+          .ValueOrDie();
+  ASSERT_TRUE(service->RegisterTenant("alice").ok());
+  SeedIncumbent(service.get(), "alice");
+
+  // Stage a wave behind a paused dispatcher, expire it on the manual
+  // clock, then release: everything must shed with kDeadlineExceeded and
+  // nothing may reach an engine.
+  service->PauseDispatch();
+  RefineRequest refine;
+  refine.tenant = "alice";
+  refine.deadline_ms = 100.0;
+  ResponseFuture refine_future = service->Submit(refine).ValueOrDie();
+  ExecuteRequest execute;
+  execute.tenant = "alice";
+  execute.deadline_ms = 80.0;
+  ExecuteFuture execute_future =
+      service->SubmitExecute(execute).ValueOrDie();
+  clock.store(150.0);
+  service->ResumeDispatch();
+  service->Drain();
+
+  const RefineResponse refined = BoundedWait(refine_future);
+  EXPECT_EQ(refined.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(refined.dispatch_sequence, 0u);  // never dispatched
+  const ExecuteResponse executed = BoundedWait(execute_future);
+  EXPECT_EQ(executed.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(executed.dispatch_sequence, 0u);
+
+  EXPECT_EQ(
+      registry.GetCounter("serving_deadline_expired_in_queue_total")->Value(),
+      2u);
+  EXPECT_EQ(
+      registry.GetCounter("serving_post_deadline_dispatch_total")->Value(),
+      0u);
+  EXPECT_EQ(service->FindTenant("alice")->serving_stats().shed_deadline, 2u);
+}
+
+TEST(MubeServiceTest, TightBudgetDegradesToTheCachedAnswerStaleMarked) {
+  std::atomic<double> clock{0.0};
+  MetricsRegistry registry;
+  ServiceOptions options = SmallServiceOptions();
+  options.clock_ms = [&clock] { return clock.load(); };
+  options.degrade_threshold_ms = 50.0;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(SmallUniverse(), FastConfig(), options, &registry)
+          .ValueOrDie();
+  ASSERT_TRUE(service->RegisterTenant("alice").ok());
+  SeedIncumbent(service.get(), "alice");
+  ExecuteRequest execute;
+  execute.tenant = "alice";
+  ASSERT_TRUE(service->Execute(execute).status.ok());  // caches a report
+
+  // Remaining budget at serve time is 100 - 70 = 30 ms < the 50 ms degrade
+  // threshold: still alive (not shed), but too tight for a fresh run.
+  service->PauseDispatch();
+  RefineRequest refine;
+  refine.tenant = "alice";
+  refine.seed = 99;
+  refine.deadline_ms = 100.0;
+  ResponseFuture refine_future = service->Submit(refine).ValueOrDie();
+  execute.deadline_ms = 100.0;
+  ExecuteFuture execute_future =
+      service->SubmitExecute(execute).ValueOrDie();
+  clock.store(70.0);
+  service->ResumeDispatch();
+  service->Drain();
+
+  const RefineResponse refined = BoundedWait(refine_future);
+  ASSERT_TRUE(refined.status.ok()) << refined.status.ToString();
+  EXPECT_TRUE(refined.degraded);
+  ASSERT_EQ(refined.results.size(), 1u);
+  EXPECT_TRUE(refined.results[0].solution.feasible);
+  const ExecuteResponse executed = BoundedWait(execute_future);
+  ASSERT_TRUE(executed.status.ok()) << executed.status.ToString();
+  EXPECT_TRUE(executed.degraded);
+  EXPECT_EQ(executed.report.outcome, QueryOutcome::kAnswered);
+
+  EXPECT_EQ(registry.GetCounter("serving_degraded_serves_total")->Value(),
+            2u);
+  EXPECT_EQ(
+      registry.GetCounter("serving_post_deadline_dispatch_total")->Value(),
+      0u);
+  EXPECT_EQ(service->FindTenant("alice")->serving_stats().degraded, 2u);
+}
+
+TEST(MubeServiceTest, TenantQuotaRejectsDistinctlyFromGlobalOverload) {
+  ServiceOptions options;
+  options.queue_capacity = 4;
+  options.max_batch = 4;
+  options.worker_threads = 1;
+  options.per_tenant_quota = 2;
+  MetricsRegistry registry;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(SmallUniverse(), FastConfig(), options, &registry)
+          .ValueOrDie();
+  ASSERT_TRUE(service->RegisterTenant("greedy").ok());
+  ASSERT_TRUE(service->RegisterTenant("modest").ok());
+
+  service->PauseDispatch();
+  RefineRequest request;
+  request.tenant = "greedy";
+  std::vector<ResponseFuture> accepted;
+  accepted.push_back(service->Submit(request).ValueOrDie());
+  accepted.push_back(service->Submit(request).ValueOrDie());
+  // Third submit breaches greedy's quota: kResourceExhausted (my share is
+  // full) with a retry-after hint, NOT kUnavailable (the service is full).
+  Result<ResponseFuture> over_quota = service->Submit(request);
+  ASSERT_FALSE(over_quota.ok());
+  EXPECT_EQ(over_quota.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(over_quota.status().message().find("retry after"),
+            std::string::npos);
+
+  // Another tenant still gets in — the queue has global room.
+  request.tenant = "modest";
+  accepted.push_back(service->Submit(request).ValueOrDie());
+  accepted.push_back(service->Submit(request).ValueOrDie());
+  // Now the *global* capacity (4) is exhausted: a third tenant's first
+  // request is turned away with kUnavailable before any quota check.
+  ASSERT_TRUE(service->RegisterTenant("late").ok());
+  request.tenant = "late";
+  Result<ResponseFuture> overloaded = service->Submit(request);
+  ASSERT_FALSE(overloaded.ok());
+  EXPECT_EQ(overloaded.status().code(), StatusCode::kUnavailable);
+
+  service->ResumeDispatch();
+  service->Drain();
+  for (const ResponseFuture& future : accepted) {
+    EXPECT_TRUE(BoundedWait(future).status.ok());
+  }
+  EXPECT_EQ(registry.GetCounter("serving_quota_rejected_total")->Value(),
+            1u);
+  EXPECT_EQ(service->FindTenant("greedy")->serving_stats().rejected_quota,
+            1u);
+  EXPECT_EQ(service->FindTenant("modest")->serving_stats().rejected_quota,
+            0u);
+}
+
+TEST(MubeServiceTest, WeightedFairDispatchBoundsStarvation) {
+  ServiceOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 16;
+  options.worker_threads = 2;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(SmallUniverse(), FastConfig(), options)
+          .ValueOrDie();
+  Tenant* heavy = service->RegisterTenant("heavy").ValueOrDie();
+  ASSERT_TRUE(service->RegisterTenant("light").ok());
+  ASSERT_TRUE(heavy->SetDispatchWeight(2).ok());
+  EXPECT_FALSE(heavy->SetDispatchWeight(0).ok());
+
+  // heavy floods 8 requests before light submits 2. Round-robin with
+  // weights {heavy: 2, light: 1} must interleave light at every third
+  // dispatch slot — light's i-th request dispatches within i * (2 + 1)
+  // slots no matter how deep heavy's backlog is.
+  service->PauseDispatch();
+  RefineRequest request;
+  request.tenant = "heavy";
+  std::vector<ResponseFuture> heavy_futures;
+  for (int i = 0; i < 8; ++i) {
+    request.seed = i + 1;
+    heavy_futures.push_back(service->Submit(request).ValueOrDie());
+  }
+  request.tenant = "light";
+  std::vector<ResponseFuture> light_futures;
+  for (int i = 0; i < 2; ++i) {
+    request.seed = 100 + i;
+    light_futures.push_back(service->Submit(request).ValueOrDie());
+  }
+  service->ResumeDispatch();
+  service->Drain();
+
+  constexpr uint64_t kCycle = 2 + 1;  // sum of dispatch weights
+  for (size_t i = 0; i < light_futures.size(); ++i) {
+    const RefineResponse response = BoundedWait(light_futures[i]);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_LE(response.dispatch_sequence, (i + 1) * kCycle)
+        << "light request " << i << " starved past its fair-share bound";
+  }
+  for (const ResponseFuture& future : heavy_futures) {
+    EXPECT_TRUE(BoundedWait(future).status.ok());
+  }
+}
+
+TEST(MubeServiceTest, BreakerStateSurvivesEpochPublishes) {
+  FaultInjector faults(7);
+  FaultProfile down;
+  down.hard_down = true;
+  faults.SetProfile(0, down);  // alpha.com never answers
+
+  ServiceOptions options = SmallServiceOptions();
+  options.fault_injector = &faults;
+  options.reliability.breaker.min_samples = 2;
+  options.reliability.breaker.failure_threshold = 0.5;
+  options.reliability.breaker.open_cooldown_ms = 1e9;  // effectively forever
+  options.reliability.persistent_failure_threshold = 100;  // isolate breakers
+  MetricsRegistry registry;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(SmallUniverse(), FastConfig(), options, &registry)
+          .ValueOrDie();
+  Tenant* alice = service->RegisterTenant("alice").ValueOrDie();
+  {
+    SnapshotManager::Lease lease = service->snapshots().Acquire();
+    ASSERT_TRUE(alice->PinSource(lease.universe(), "alpha.com").ok());
+  }
+  SeedIncumbent(service.get(), "alice");
+
+  auto scan_status_of = [](const ExecuteResponse& response, uint32_t sid) {
+    for (const SourceScanLog& log : response.report.scans) {
+      if (log.source_id == sid) return log.status;
+    }
+    return ScanStatus::kSkippedCannotAnswer;
+  };
+
+  // Two hard failures trip the breaker (min_samples = 2, rate 1.0)...
+  ExecuteRequest request;
+  request.tenant = "alice";
+  for (int i = 0; i < 2; ++i) {
+    const ExecuteResponse response = service->Execute(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(scan_status_of(response, 0), ScanStatus::kFailed);
+  }
+  // ...an epoch publishes (unrelated churn)...
+  ASSERT_TRUE(service
+                  ->ApplyChurn({ChurnEvent::UpdateTuples("beta.com",
+                                                         {3, 4, 5, 99})})
+                  .ok());
+  // ...and the open breaker still short-circuits on the NEW epoch: breaker
+  // state lives in the service's registry, not in any epoch's executor.
+  const ExecuteResponse after = service->Execute(request);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_EQ(scan_status_of(after, 0), ScanStatus::kShortCircuited);
+  EXPECT_EQ(after.report.breaker_short_circuits, 1u);
+
+  service->Drain();
+  EXPECT_EQ(service->breaker_registry().TotalTransitions().opens, 1u);
+  EXPECT_EQ(registry.GetCounter("serving_breaker_opens_total")->Value(), 1u);
+}
+
+TEST(MubeServiceTest, PersistentExecuteFailuresChurnTheCatalog) {
+  FaultInjector faults(11);
+  FaultProfile down;
+  down.hard_down = true;
+  faults.SetProfile(0, down);  // alpha.com never answers
+
+  ServiceOptions options = SmallServiceOptions();
+  options.fault_injector = &faults;
+  options.reliability.persistent_failure_threshold = 2;
+  MetricsRegistry registry;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(SmallUniverse(), FastConfig(), options, &registry)
+          .ValueOrDie();
+  Tenant* alice = service->RegisterTenant("alice").ValueOrDie();
+  {
+    SnapshotManager::Lease lease = service->snapshots().Acquire();
+    ASSERT_TRUE(alice->PinSource(lease.universe(), "alpha.com").ok());
+  }
+  SeedIncumbent(service.get(), "alice");
+
+  // Two Executes push alpha.com's failure streak to the threshold; the
+  // service then routes the drained churn through its own epoch store —
+  // a source that never answered is removed outright.
+  ExecuteRequest request;
+  request.tenant = "alice";
+  ASSERT_TRUE(service->Execute(request).status.ok());
+  EXPECT_EQ(service->snapshots().published_count(), 0u);
+  ASSERT_TRUE(service->Execute(request).status.ok());
+  service->Drain();
+
+  EXPECT_EQ(service->snapshots().published_count(), 1u);
+  EXPECT_EQ(
+      registry.GetCounter("serving_persistent_failure_churn_total")->Value(),
+      1u);
+  SnapshotManager::Lease lease = service->snapshots().Acquire();
+  EXPECT_EQ(lease.epoch(), 1u);
+  EXPECT_FALSE(lease.universe().alive(0));
+
+  // The tenant keeps being served: the stale pin and the incumbent's dead
+  // member are shed, and the next Execute runs the survivors.
+  const ExecuteResponse after = service->Execute(request);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  for (const SourceScanLog& log : after.report.scans) {
+    EXPECT_NE(log.source_id, 0u);
+  }
+}
+
+/// TSan target: Drain and Stop racing a mixed in-flight Refine/Execute
+/// stream plus churn. The only invariant that matters under the race is
+/// that every admitted future is fulfilled — no leaks, no hangs.
+TEST(MubeServiceTest, DrainAndStopRaceInFlightExecutes) {
+  GeneratedUniverse gen = GenerateUniverse(SmallGen(37)).ValueOrDie();
+  ServiceOptions options;
+  options.queue_capacity = 128;
+  options.max_batch = 8;
+  options.worker_threads = 4;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(gen.universe, FastConfig(), options).ValueOrDie();
+  for (const char* name : {"t0", "t1"}) {
+    ASSERT_TRUE(service->RegisterTenant(name).ok());
+    SeedIncumbent(service.get(), name);
+  }
+
+  Mutex mu;
+  std::vector<ResponseFuture> refines;
+  std::vector<ExecuteFuture> executes;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&service, &mu, &refines, &executes, t] {
+      const std::string tenant = "t" + std::to_string(t);
+      for (int i = 0; i < 12; ++i) {
+        if (i % 3 == 2) {
+          ExecuteRequest request;
+          request.tenant = tenant;
+          Result<ExecuteFuture> submitted =
+              service->SubmitExecute(std::move(request));
+          if (submitted.ok()) {
+            MutexLock lock(&mu);
+            executes.push_back(submitted.MoveValueUnsafe());
+          }
+        } else {
+          RefineRequest request;
+          request.tenant = tenant;
+          request.seed = i + 1;
+          Result<ResponseFuture> submitted = service->Submit(request);
+          if (submitted.ok()) {
+            MutexLock lock(&mu);
+            refines.push_back(submitted.MoveValueUnsafe());
+          }
+        }
+      }
+    });
+  }
+  std::thread churner([&service, &gen] {
+    for (int b = 0; b < 3; ++b) {
+      ASSERT_TRUE(service
+                      ->ApplyChurn({ChurnEvent::UpdateTuples(
+                          gen.universe.source(b).name(),
+                          {static_cast<uint64_t>(8000 + b)})})
+                      .ok());
+    }
+  });
+  service->Drain();  // races the submitters: may return while they submit
+  for (std::thread& submitter : submitters) submitter.join();
+  churner.join();
+  service->Stop();  // drains whatever was admitted after the Drain
+
+  for (const ResponseFuture& future : refines) {
+    EXPECT_TRUE(future.Ready());
+    const RefineResponse response = BoundedWait(future);
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  for (const ExecuteFuture& future : executes) {
+    EXPECT_TRUE(future.Ready());
+    const ExecuteResponse response = BoundedWait(future);
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+}
+
+/// TSan target: an adversarial flooder pinned to its quota must not starve
+/// or quota-poison a polite tenant submitting one request at a time.
+TEST(MubeServiceTest, QuotaShieldsPoliteTenantsFromAdversarialFloods) {
+  ServiceOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 4;
+  options.worker_threads = 2;
+  options.per_tenant_quota = 4;
+  std::unique_ptr<MubeService> service =
+      MubeService::Create(SmallUniverse(), FastConfig(), options)
+          .ValueOrDie();
+  ASSERT_TRUE(service->RegisterTenant("adversary").ok());
+  ASSERT_TRUE(service->RegisterTenant("polite").ok());
+
+  std::atomic<int> adversary_quota_rejections{0};
+  std::thread adversary([&service, &adversary_quota_rejections] {
+    std::vector<ResponseFuture> futures;
+    for (int i = 0; i < 120; ++i) {
+      RefineRequest request;
+      request.tenant = "adversary";
+      request.seed = i + 1;
+      Result<ResponseFuture> submitted = service->Submit(request);
+      if (submitted.ok()) {
+        futures.push_back(submitted.MoveValueUnsafe());
+      } else if (submitted.status().IsResourceExhausted()) {
+        ++adversary_quota_rejections;
+      }
+    }
+    for (const ResponseFuture& future : futures) {
+      EXPECT_TRUE(BoundedWait(future).status.ok());
+    }
+  });
+  std::thread polite([&service] {
+    for (int i = 0; i < 8; ++i) {
+      RefineRequest request;
+      request.tenant = "polite";
+      request.seed = 1000 + i;
+      // One request in flight at a time: the definition of polite. Under a
+      // per-tenant quota the adversary's flood cannot make these fail.
+      const RefineResponse response = service->Refine(request);
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+    }
+  });
+  adversary.join();
+  polite.join();
+  service->Drain();
+
+  // The flood really was clamped by the quota, and none of the clamping
+  // leaked onto the polite tenant.
+  EXPECT_GT(adversary_quota_rejections.load(), 0);
+  EXPECT_EQ(service->FindTenant("polite")->serving_stats().rejected_quota,
+            0u);
+  EXPECT_EQ(service->FindTenant("polite")->serving_stats().served_ok, 8u);
 }
 
 }  // namespace
