@@ -1,0 +1,79 @@
+#ifndef MUBE_COMMON_DET_H_
+#define MUBE_COMMON_DET_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+/// \file det.h
+/// Deterministic-iteration helpers for hash containers. Iterating a
+/// std::unordered_map/unordered_set directly exposes hash order — a
+/// function of insertion history, bucket counts, and libstdc++ internals,
+/// none of which is part of any contract this repo makes. Anywhere such an
+/// iteration feeds output (reports, metric exposition, batch formation) or
+/// floating-point accumulation, route it through these helpers instead;
+/// tools/lint/mube_lint.py's det-iteration rule enforces exactly that.
+///
+/// Cost discipline: each helper materializes and sorts ONCE at the call
+/// site — callers on hot paths hoist the call out of their loops (sort the
+/// keys once per expose/report, not per element). Lookup-only access
+/// (find/count/operator[]) stays on the unordered container and is never
+/// flagged: point queries don't observe hash order.
+
+namespace mube {
+namespace det {
+
+namespace internal {
+// Entry projections: a set iterates its elements, a map its pairs.
+template <typename K, typename V>
+const K& KeyOf(const std::pair<const K, V>& entry) {
+  return entry.first;
+}
+template <typename K>
+const K& KeyOf(const K& entry) {
+  return entry;
+}
+}  // namespace internal
+
+/// Keys of a map (or elements of a set), sorted ascending. The returned
+/// vector is an independent copy: mutating the container afterwards is
+/// safe.
+template <typename Container>
+std::vector<typename Container::key_type> SortedKeys(
+    const Container& container) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(container.size());
+  for (const auto& entry : container) {
+    keys.push_back(internal::KeyOf(entry));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// (key, value) pairs of a map, sorted ascending by key. Values are
+/// copied; use SortedKeys + find when values are heavy.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+SortedItems(const Map& map) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    items.emplace_back(key, value);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+/// Elements of a set-like container, sorted ascending (alias of SortedKeys
+/// for sets, kept separate so call sites read naturally).
+template <typename Set>
+std::vector<typename Set::key_type> SortedValues(const Set& set) {
+  return SortedKeys(set);
+}
+
+}  // namespace det
+}  // namespace mube
+
+#endif  // MUBE_COMMON_DET_H_

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/det.h"
 #include "schema/universe.h"
 
 namespace mube {
@@ -55,9 +56,11 @@ NaiveMatchResult NaiveComponentsMatch(
 
   NaiveMatchResult result;
   double quality_sum = 0.0;
-  // Deterministic output order: by smallest member.
+  // Deterministic output order: components enumerated by sorted root
+  // (never hash order), then GAs ordered by smallest member.
   std::vector<const std::vector<size_t>*> ordered;
-  for (const auto& [root, members] : components) {
+  for (const size_t root : det::SortedKeys(components)) {
+    const std::vector<size_t>& members = components.at(root);
     if (members.size() >= 2) ordered.push_back(&members);
   }
   std::sort(ordered.begin(), ordered.end(),

@@ -151,6 +151,12 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;  // these two is set
   };
 
+  /// Expose() walks the metric map under mu_ while Counter::Value /
+  /// Histogram::TakeSnapshot take the shard locks — a cross-class nesting
+  /// Clang's attribute expressions cannot name, declared for
+  /// tools/lint/mube_lint.py's lock-order rule instead:
+  // LOCK-ORDER: MetricsRegistry::mu_ -> Counter::Shard::mu
+  // LOCK-ORDER: MetricsRegistry::mu_ -> Histogram::Shard::mu
   mutable Mutex mu_;
   std::map<std::string, Entry> metrics_ GUARDED_BY(mu_);
 };

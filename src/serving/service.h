@@ -368,7 +368,11 @@ class MubeService {
   std::map<std::string, std::unique_ptr<Tenant>> tenants_
       GUARDED_BY(tenants_mu_);
 
-  mutable Mutex mu_;
+  /// Ordered after tenants_mu_: Admit resolves the tenant (FindTenant,
+  /// dispatch weight) before entering the queue critical section, never
+  /// the other way around; tenant mutexes themselves are leaves (off-
+  /// limits under mu_ — see the comment in Admit).
+  mutable Mutex mu_ ACQUIRED_AFTER(tenants_mu_);
   CondVar work_cv_;
   CondVar idle_cv_;
   /// Per-tenant FIFO queues, drained round-robin in name order. The map

@@ -140,8 +140,9 @@ class SnapshotManager {
 
   mutable Mutex mu_;
   /// Writers serialize here; held across the whole clone/fork/churn build,
-  /// never overlapping mu_ except for the O(1) publish and pin steps.
-  Mutex publish_mu_;
+  /// overlapping mu_ only for the O(1) publish and pin steps — which is
+  /// the declared order: publish_mu_ is always taken first.
+  Mutex publish_mu_ ACQUIRED_BEFORE(mu_);
   std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
   Entry* current_ GUARDED_BY(mu_) = nullptr;
   uint64_t next_epoch_ GUARDED_BY(mu_) = 0;

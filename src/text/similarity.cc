@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "schema/universe.h"
 #include "text/ngram.h"
@@ -151,21 +152,41 @@ double TfIdfCosineSimilarity::Idf(const std::string& token) const {
 
 double TfIdfCosineSimilarity::Similarity(std::string_view a,
                                          std::string_view b) const {
+  // Sorted (token, tf·idf) vectors joined by merge: every sum below runs
+  // in lexicographic token order. Folding a hash map here instead would
+  // accumulate doubles in hash order — a function of insertion history —
+  // and floating-point addition does not associate, so equal inputs could
+  // score different in the last ulp and flip a theta-edge match.
   auto weights = [this](std::string_view text) {
-    std::unordered_map<std::string, double> w;
-    for (const std::string& t : WordTokens(text)) w[t] += 1.0;
-    for (auto& [token, tf] : w) tf *= Idf(token);
+    std::vector<std::string> tokens = WordTokens(text);
+    std::sort(tokens.begin(), tokens.end());
+    std::vector<std::pair<std::string, double>> w;
+    for (size_t i = 0; i < tokens.size();) {
+      size_t j = i;
+      while (j < tokens.size() && tokens[j] == tokens[i]) ++j;
+      w.emplace_back(tokens[i],
+                     static_cast<double>(j - i) * Idf(tokens[i]));
+      i = j;
+    }
     return w;
   };
   const auto wa = weights(a);
   const auto wb = weights(b);
   if (wa.empty() || wb.empty()) return 0.0;
   double dot = 0.0, na = 0.0, nb = 0.0;
-  for (const auto& [token, weight] : wa) {
-    na += weight * weight;
-    auto it = wb.find(token);
-    if (it != wb.end()) dot += weight * it->second;
+  for (size_t i = 0, j = 0; i < wa.size() && j < wb.size();) {
+    const int cmp = wa[i].first.compare(wb[j].first);
+    if (cmp == 0) {
+      dot += wa[i].second * wb[j].second;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
   }
+  for (const auto& [token, weight] : wa) na += weight * weight;
   for (const auto& [token, weight] : wb) nb += weight * weight;
   if (na == 0.0 || nb == 0.0) return 0.0;
   return dot / std::sqrt(na * nb);

@@ -3,10 +3,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/det.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -346,6 +352,44 @@ TEST(StringUtilTest, StartsWith) {
   EXPECT_TRUE(StartsWith("source x", "source "));
   EXPECT_FALSE(StartsWith("sourc", "source"));
   EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+// ------------------------------------------------------------------- det --
+
+TEST(DetTest, SortedKeysAndItemsAreInsertionOrderInvariant) {
+  // Two hash maps holding equal contents but built in different insertion
+  // orders may iterate differently (bucket chains order by arrival; rehash
+  // points differ) — the closest a standard build gets to "differently
+  // seeded hash runs". The det helpers must erase that difference.
+  std::unordered_map<int, std::string> forward;
+  std::unordered_map<int, std::string> reverse;
+  for (int i = 0; i < 200; ++i) forward[i] = std::to_string(i);
+  for (int i = 199; i >= 0; --i) reverse[i] = std::to_string(i);
+  EXPECT_EQ(det::SortedKeys(forward), det::SortedKeys(reverse));
+  EXPECT_EQ(det::SortedItems(forward), det::SortedItems(reverse));
+  const std::vector<int> keys = det::SortedKeys(forward);
+  ASSERT_EQ(keys.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  const auto items = det::SortedItems(forward);
+  EXPECT_EQ(items.front().first, 0);
+  EXPECT_EQ(items.back().second, "199");
+}
+
+TEST(DetTest, SortedValuesOverSets) {
+  std::unordered_set<uint32_t> a;
+  std::unordered_set<uint32_t> b;
+  for (uint32_t v : {7u, 3u, 11u, 5u}) a.insert(v);
+  for (uint32_t v : {5u, 11u, 3u, 7u}) b.insert(v);
+  EXPECT_EQ(det::SortedValues(a), det::SortedValues(b));
+  EXPECT_EQ(det::SortedValues(a), (std::vector<uint32_t>{3, 5, 7, 11}));
+}
+
+TEST(DetTest, EmptyContainersYieldEmptyVectors) {
+  const std::unordered_map<int, int> empty_map;
+  const std::unordered_set<int> empty_set;
+  EXPECT_TRUE(det::SortedKeys(empty_map).empty());
+  EXPECT_TRUE(det::SortedItems(empty_map).empty());
+  EXPECT_TRUE(det::SortedValues(empty_set).empty());
 }
 
 }  // namespace

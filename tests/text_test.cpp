@@ -134,6 +134,34 @@ TEST(TfIdfTest, RareTokensDominate) {
   EXPECT_DOUBLE_EQ(tfidf.Similarity("", "book"), 0.0);
 }
 
+TEST(TfIdfTest, TokenOrderIsIrrelevantBitwise) {
+  // Regression for a latent nondeterminism: the cosine used to fold tf·idf
+  // weights in unordered_map hash order — a function of insertion history,
+  // so permuting a text's tokens could change the floating-point summation
+  // order and with it the last ulp of the score (enough to flip a
+  // theta-edge match). The merge-join rewrite sums in lexicographic token
+  // order: a permuted text (same bag of words, different insertion order
+  // into any intermediate container) must score BIT-identically.
+  const std::vector<std::string> corpus = {
+      "alpha beta gamma delta", "beta gamma", "delta epsilon zeta",
+      "eta theta iota kappa", "alpha kappa"};
+  TfIdfCosineSimilarity tfidf(corpus);
+  const std::string text = "alpha beta gamma delta epsilon zeta eta theta";
+  const std::string permuted =
+      "theta eta zeta epsilon delta gamma beta alpha";
+  const std::string other = "gamma delta epsilon kappa";
+  const double base = tfidf.Similarity(text, other);
+  EXPECT_GT(base, 0.0);
+  EXPECT_EQ(base, tfidf.Similarity(permuted, other));  // bitwise, not NEAR
+  // Operand order reduces to the same merge join: symmetric bitwise too.
+  EXPECT_EQ(base, tfidf.Similarity(other, text));
+  // Corpus document order only feeds point lookups (document frequency),
+  // never an iteration: a reshuffled corpus builds an identical measure.
+  std::vector<std::string> shuffled(corpus.rbegin(), corpus.rend());
+  TfIdfCosineSimilarity reshuffled(shuffled);
+  EXPECT_EQ(base, reshuffled.Similarity(text, other));
+}
+
 TEST(MakeSimilarityMeasureTest, Factory) {
   EXPECT_TRUE(MakeSimilarityMeasure("jaccard3").ok());
   EXPECT_TRUE(MakeSimilarityMeasure("jaccard2").ok());

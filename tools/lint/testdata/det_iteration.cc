@@ -1,0 +1,52 @@
+// Fixture: det-iteration — hash-order iteration and folds over
+// std::unordered_map/unordered_set are banned; lookups, det.h routing, and
+// NOLINT'd order-insensitive folds are not.
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/det.h"
+
+namespace mube {
+
+using ScanCounts = std::unordered_map<int, int>;
+
+int Sum() {
+  std::unordered_map<int, double> memo;
+  std::unordered_set<int> seen;
+  ScanCounts counts;
+
+  double total = 0.0;
+  for (const auto& [key, value] : memo) {  // LINT-EXPECT: det-iteration
+    total += value;
+  }
+  for (int id : seen) {  // LINT-EXPECT: det-iteration
+    total += id;
+  }
+  for (const auto& [sid, n] : counts) {  // LINT-EXPECT: det-iteration
+    total += n;
+  }
+  // Order-sensitive fold over unordered iterators:
+  total += std::accumulate(memo.begin(),  // LINT-EXPECT: det-iteration
+                           memo.end(), 0.0,
+                           [](double a, const auto& kv) {
+                             return a + kv.second;
+                           });
+
+  // Routed through det.h: the range expression is a call, not a raw
+  // container — deterministic by construction.
+  for (int key : det::SortedKeys(memo)) {
+    total += key;
+  }
+  // Point lookups never observe hash order.
+  if (seen.count(3) != 0 && memo.find(3) != memo.end()) {
+    total += 1.0;
+  }
+  // Provably order-insensitive (integer sum) and justified as such:
+  for (int id : seen) {  // NOLINT(det-iteration) integer sum commutes
+    total += id;
+  }
+  return static_cast<int>(total);
+}
+
+}  // namespace mube

@@ -1,0 +1,31 @@
+// Fixture: det-pointer-order — ordering by raw pointer value (pointer-keyed
+// ordered containers, std::less<T*>, pointer-to-integer casts) is
+// address-space noise under ASLR.
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace mube {
+
+struct Node {
+  int id = 0;
+};
+
+void Build(Node* a, Node* b) {
+  std::map<const Node*, int> rank;  // LINT-EXPECT: det-pointer-order
+  std::set<Node*> visited;          // LINT-EXPECT: det-pointer-order
+  std::less<Node*> before;          // LINT-EXPECT: det-pointer-order
+  const auto key =
+      reinterpret_cast<uintptr_t>(a);  // LINT-EXPECT: det-pointer-order
+  // Keying by id is the deterministic replacement.
+  std::map<int, int> rank_by_id;
+  rank_by_id[a->id] = static_cast<int>(key % 2);
+  rank_by_id[b->id] = before(a, b) ? 1 : 0;
+  (void)rank;
+  (void)visited;
+  // A stable-address arena may justify itself explicitly:
+  std::set<Node*> arena;  // NOLINT(det-pointer-order) insertion-order arena
+  (void)arena;
+}
+
+}  // namespace mube

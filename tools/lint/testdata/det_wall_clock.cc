@@ -1,0 +1,23 @@
+// Fixture: det-wall-clock — direct clock reads outside common/timer.h and
+// common/threading.cc bypass the injectable service clock, so shed/degrade
+// decisions stop replaying.
+#include <chrono>
+
+namespace mube {
+
+double Sample() {
+  const auto t0 =
+      std::chrono::steady_clock::now();  // LINT-EXPECT: det-wall-clock
+  const auto wall =
+      std::chrono::system_clock::now();  // LINT-EXPECT: det-wall-clock
+  using hrc = std::chrono::high_resolution_clock;
+  const auto t1 = hrc::now();  // LINT-EXPECT: det-wall-clock
+  // A bench harness may pin itself outside the replay envelope:
+  const auto t2 = std::chrono::steady_clock::now();  // NOLINT(det-wall-clock)
+  return std::chrono::duration<double>(t1 - t0).count() +
+         std::chrono::duration<double>(t2 - wall.time_since_epoch() + t1 -
+                                       t1)
+             .count();
+}
+
+}  // namespace mube

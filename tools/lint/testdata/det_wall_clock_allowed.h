@@ -1,0 +1,19 @@
+// LINT-PATH: src/common/timer.h
+#ifndef MUBE_COMMON_TIMER_H_
+#define MUBE_COMMON_TIMER_H_
+
+// Fixture: the det-wall-clock allowlist — common/timer.h IS the blessed
+// clock boundary, so a direct read here must not fire.
+#include <chrono>
+
+namespace mube {
+
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace mube
+
+#endif  // MUBE_COMMON_TIMER_H_

@@ -1,0 +1,41 @@
+// LINT-PATH: src/lintfix/lock_order.h
+#ifndef MUBE_LINTFIX_LOCK_ORDER_H_
+#define MUBE_LINTFIX_LOCK_ORDER_H_
+
+// Fixture: lock-order — ACQUIRED_BEFORE/AFTER annotations plus LOCK-ORDER
+// comment edges must form a DAG. Every edge participating in a cycle is
+// reported at its declaration.
+
+#include "common/thread_annotations.h"
+#include "common/threading.h"
+
+namespace mube {
+
+/// A consistent in-class hierarchy: fine.
+class Layered {
+ private:
+  mutable Mutex state_mu_;
+  Mutex publish_mu_ ACQUIRED_BEFORE(state_mu_);
+  int epoch_ GUARDED_BY(state_mu_) = 0;
+};
+
+/// Contradictory annotations: a declares itself before b AND b declares
+/// itself before a.
+class Twisted {
+ private:
+  Mutex a_ ACQUIRED_BEFORE(b_);  // LINT-EXPECT: lock-order
+  Mutex b_ ACQUIRED_BEFORE(a_);  // LINT-EXPECT: lock-order
+  int n_ GUARDED_BY(a_) = 0;
+};
+
+/// Cross-class comment edges can cycle too (both directions declared):
+// LOCK-ORDER: Registry::mu_ -> Shard::mu  // LINT-EXPECT: lock-order
+// LOCK-ORDER: Shard::mu -> Registry::mu_  // LINT-EXPECT: lock-order
+
+/// And an acyclic cross-class chain is fine:
+// LOCK-ORDER: Service::mu_ -> Worker::mu_
+// LOCK-ORDER: Worker::mu_ -> Leaf::mu_
+
+}  // namespace mube
+
+#endif  // MUBE_LINTFIX_LOCK_ORDER_H_

@@ -1,0 +1,70 @@
+// LINT-PATH: src/lintfix/mutex_coverage.h
+#ifndef MUBE_LINTFIX_MUTEX_COVERAGE_H_
+#define MUBE_LINTFIX_MUTEX_COVERAGE_H_
+
+// Fixture: mutex-coverage — every Mutex member must be referenced by an
+// annotation in its class (or carry ACQUIRED_* itself); every CondVar
+// needs an annotation-covered Mutex companion in the same class.
+
+#include "common/thread_annotations.h"
+#include "common/threading.h"
+
+namespace mube {
+
+/// All covered: one mutex guards a field, the other orders itself.
+class Covered {
+ public:
+  void Tick();
+
+ private:
+  mutable Mutex mu_;
+  Mutex order_mu_ ACQUIRED_BEFORE(mu_);
+  CondVar cv_;
+  int ticks_ GUARDED_BY(mu_) = 0;
+};
+
+/// The analysis is silent on fields nobody annotated — that is the gap.
+class Uncovered {
+ public:
+  void Tick();
+
+ private:
+  Mutex mu_;  // LINT-EXPECT: mutex-coverage
+  int ticks_ = 0;
+};
+
+/// A CondVar with no covered companion mutex cannot express its wait
+/// predicate's guard.
+class LonelyCondVar {
+ public:
+  void Wake();
+
+ private:
+  CondVar cv_;  // LINT-EXPECT: mutex-coverage
+};
+
+/// Nested classes are scanned independently: the inner Shard's mutex is
+/// covered by the inner GUARDED_BY, not the outer class's.
+class Sharded {
+ private:
+  struct Shard {
+    mutable Mutex mu;
+    int value GUARDED_BY(mu) = 0;
+  };
+  struct BareShard {
+    mutable Mutex mu;  // LINT-EXPECT: mutex-coverage
+    int value = 0;
+  };
+  Shard shard_;
+  BareShard bare_;
+};
+
+/// An intentionally-external synchronization contract is justifiable:
+class ExternallySerialized {
+ private:
+  Mutex init_mu_;  // NOLINT(mutex-coverage) held only in the constructor
+};
+
+}  // namespace mube
+
+#endif  // MUBE_LINTFIX_MUTEX_COVERAGE_H_
