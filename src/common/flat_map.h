@@ -1,0 +1,224 @@
+#ifndef MUBE_COMMON_FLAT_MAP_H_
+#define MUBE_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace mube {
+
+/// Open-addressing hash map keyed by `uint64_t`, used for the sharded memo
+/// tables in sketch/signature_cache.h and qef/match_qef.h. Robin-hood
+/// probing with backward-shift deletion — tombstone-free, so probe chains
+/// never rot under the insert/erase/insert churn those memos see at
+/// capacity. One contiguous slot array (no per-node allocation), so a miss
+/// costs a handful of adjacent cache lines instead of a pointer chase.
+///
+/// Contract, relied on by the memo callers:
+///   - Keys are pre-mixed through Mix64 — callers may use raw fingerprints
+///     or sequential ids without seeding clustering.
+///   - Pointers returned by Find/TryEmplace are invalidated by any mutating
+///     call (rehash moves slots; erase shifts them). Callers that hand out
+///     long-lived references across mutations must box the value
+///     (FlatMap<std::unique_ptr<T>>) — see qef/match_qef.h.
+///   - V must be default-constructible (empty slots hold V()) and movable.
+///   - Iteration (ForEach / EraseIf / EraseUpTo) is in slot order, which
+///     depends on insertion history: nondeterministic for program output.
+///     The det-iteration lint flags ForEach for the same reason it flags
+///     range-for over unordered_map; only use it for order-insensitive
+///     reductions or guard the output with a sort.
+template <typename V>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  /// Returns the value for `key`, or nullptr if absent.
+  V* Find(uint64_t key) {
+    return const_cast<V*>(static_cast<const FlatMap*>(this)->Find(key));
+  }
+  const V* Find(uint64_t key) const {
+    if (slots_.empty()) return nullptr;
+    const size_t mask = slots_.size() - 1;
+    size_t idx = IndexFor(key, mask);
+    uint16_t dist = 1;
+    while (true) {
+      const Slot& s = slots_[idx];
+      // Robin-hood invariant: if this slot is empty, or holds an entry that
+      // probed less far than we have, `key` cannot be further along.
+      if (s.dist == 0 || s.dist < dist) return nullptr;
+      if (s.dist == dist && s.key == key) return &slots_[idx].value;
+      idx = (idx + 1) & mask;
+      ++dist;
+    }
+  }
+
+  /// Inserts value_type(args...) under `key` if absent. Returns {pointer to
+  /// the (new or pre-existing) value, inserted?}. The value is constructed
+  /// only on actual insertion.
+  template <typename... Args>
+  std::pair<V*, bool> TryEmplace(uint64_t key, Args&&... args) {
+    if (V* existing = Find(key)) return {existing, false};
+    if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
+    V* where = InsertNew(key, V(std::forward<Args>(args)...));
+    ++size_;
+    return {where, true};
+  }
+
+  /// Removes `key`. Returns whether it was present.
+  bool Erase(uint64_t key) {
+    if (slots_.empty()) return false;
+    const size_t mask = slots_.size() - 1;
+    size_t idx = IndexFor(key, mask);
+    uint16_t dist = 1;
+    while (true) {
+      Slot& s = slots_[idx];
+      if (s.dist == 0 || s.dist < dist) return false;
+      if (s.dist == dist && s.key == key) {
+        EraseSlot(idx, mask);
+        --size_;
+        return true;
+      }
+      idx = (idx + 1) & mask;
+      ++dist;
+    }
+  }
+
+  /// Erases every entry for which pred(key, value) is true; returns the
+  /// count erased. Backward-shift deletion can move a not-yet-visited entry
+  /// into an already-visited slot across the wrap-around boundary, so an
+  /// entry may be tested more than once (never skipped): `pred` must be
+  /// pure — same answer every call for the same entry.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    if (slots_.empty()) return 0;
+    const size_t mask = slots_.size() - 1;
+    size_t erased = 0;
+    for (size_t idx = 0; idx < slots_.size(); ++idx) {
+      // Re-examine the same slot after an erase: backward shift may have
+      // pulled the next chain entry into it.
+      while (slots_[idx].dist != 0 &&
+             pred(slots_[idx].key, slots_[idx].value)) {
+        EraseSlot(idx, mask);
+        --size_;
+        ++erased;
+      }
+    }
+    return erased;
+  }
+
+  /// Evicts up to `n` entries in slot order (arbitrary but cheap — the
+  /// memo's quarter-capacity eviction sweep). Returns the count evicted.
+  size_t EraseUpTo(size_t n) {
+    if (slots_.empty() || n == 0) return 0;
+    const size_t mask = slots_.size() - 1;
+    size_t erased = 0;
+    for (size_t idx = 0; idx < slots_.size() && erased < n; ++idx) {
+      while (erased < n && slots_[idx].dist != 0) {
+        EraseSlot(idx, mask);
+        --size_;
+        ++erased;
+      }
+    }
+    return erased;
+  }
+
+  /// Calls fn(key, value) for every entry, in slot order (nondeterministic;
+  /// see class comment). `fn` must not mutate the map.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Slot& s : slots_) {
+      if (s.dist != 0) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint16_t dist = 0;  // 0 = empty; else probe distance + 1.
+    V value{};
+  };
+
+  static size_t IndexFor(uint64_t key, size_t mask) {
+    return static_cast<size_t>(Mix64(key)) & mask;
+  }
+
+  // Robin-hood insert of a key known to be absent, into a table known to
+  // have room. Returns the final location of the *original* entry (which
+  // may be displaced down the chain by later swaps).
+  V* InsertNew(uint64_t key, V&& value) {
+    const size_t mask = slots_.size() - 1;
+    size_t idx = IndexFor(key, mask);
+    uint16_t dist = 1;
+    V* original = nullptr;
+    bool carrying_original = true;
+    while (true) {
+      Slot& s = slots_[idx];
+      if (s.dist == 0) {
+        s.key = key;
+        s.dist = dist;
+        s.value = std::move(value);
+        return carrying_original ? &s.value : original;
+      }
+      if (s.dist < dist) {
+        // The rich entry yields its slot to the poorer one.
+        std::swap(s.key, key);
+        std::swap(s.dist, dist);
+        std::swap(s.value, value);
+        if (carrying_original) {
+          original = &s.value;
+          carrying_original = false;
+        }
+      }
+      idx = (idx + 1) & mask;
+      ++dist;
+    }
+  }
+
+  // Backward-shift deletion: pull successors with dist > 1 down one slot
+  // until the chain ends, leaving no tombstone.
+  void EraseSlot(size_t idx, size_t mask) {
+    while (true) {
+      const size_t next = (idx + 1) & mask;
+      Slot& cur = slots_[idx];
+      Slot& nxt = slots_[next];
+      if (nxt.dist <= 1) {
+        cur.dist = 0;
+        cur.value = V();  // Release held resources now, not at next reuse.
+        return;
+      }
+      cur.key = nxt.key;
+      cur.dist = static_cast<uint16_t>(nxt.dist - 1);
+      cur.value = std::move(nxt.value);
+      idx = next;
+    }
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();  // moved-from: make its state definite before resize
+    slots_.resize(old.empty() ? kMinCapacity : old.size() * 2);
+    for (Slot& s : old) {
+      if (s.dist != 0) InsertNew(s.key, std::move(s.value));
+    }
+  }
+
+  static constexpr size_t kMinCapacity = 16;  // Power of two, like all sizes.
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace mube
+
+#endif  // MUBE_COMMON_FLAT_MAP_H_

@@ -4,12 +4,6 @@
 
 namespace mube {
 
-uint64_t Mix64(uint64_t x) {
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
 uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
   uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed);
   for (unsigned char c : bytes) {

@@ -14,7 +14,15 @@ namespace mube {
 
 /// \brief Mixes 64 bits into 64 well-distributed bits (the SplitMix64
 /// finalizer, also known as murmur3's fmix64 variant).
-uint64_t Mix64(uint64_t x);
+///
+/// Defined inline: this sits in the PCSA Add inner loop and in every flat-map
+/// probe (common/flat_map.h), where a call boundary would dominate the three
+/// multiply/xor-shift rounds it performs.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 /// \brief Hashes a byte string to 64 bits (FNV-1a with a strengthening final
 /// mix). Deterministic across platforms and runs.

@@ -19,17 +19,18 @@ const MatchResult& MatchQualityQef::MatchFor(
   CacheShard& shard = shards_[ShardOf(key)];
   {
     MutexLock lock(&shard.mu);
-    auto it = shard.results.find(key);
-    if (it != shard.results.end()) {
+    if (const std::unique_ptr<MatchResult>* hit = shard.results.Find(key)) {
       ++shard.hits;
-      return it->second;
+      return **hit;
     }
     ++shard.misses;
   }
 
   // Match runs outside the lock — it is the expensive part, and it only
   // reads immutable state. Two threads may race on the same key; both
-  // compute identical results and try_emplace keeps whichever landed first.
+  // compute identical results and TryEmplace keeps whichever landed first.
+  // The boxed MatchResult is heap-pinned, so the returned reference
+  // survives any rehash the insert (or later inserts) triggers.
   Result<MatchResult> result = matcher_.Match(
       source_ids, options_, source_constraints_, ga_constraints_);
   if (!result.ok()) {
@@ -39,11 +40,15 @@ const MatchResult& MatchQualityQef::MatchFor(
     MUBE_LOG(kWarning) << "Match(S) rejected input: "
                        << result.status().ToString();
     MutexLock lock(&shard.mu);
-    return shard.results.try_emplace(key, MatchResult{}).first->second;
+    return **shard.results
+                .TryEmplace(key, std::make_unique<MatchResult>())
+                .first;
   }
   MutexLock lock(&shard.mu);
-  return shard.results.try_emplace(key, result.MoveValueUnsafe())
-      .first->second;
+  return **shard.results
+              .TryEmplace(key, std::make_unique<MatchResult>(
+                                   result.MoveValueUnsafe()))
+              .first;
 }
 
 double MatchQualityQef::Evaluate(

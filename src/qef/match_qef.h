@@ -2,9 +2,10 @@
 #define MUBE_QEF_MATCH_QEF_H_
 
 #include <array>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/thread_annotations.h"
 #include "common/threading.h"
 #include "match/matcher.h"
@@ -31,9 +32,10 @@ namespace mube {
 /// Thread-compatible const interface: Evaluate/MatchFor may be called from
 /// any number of threads concurrently (the Matcher itself is stateless; the
 /// memo is sharded under per-shard locks). Entries are never erased, and
-/// unordered_map guarantees reference stability across inserts, so the
-/// reference MatchFor returns stays valid for the QEF's lifetime even while
-/// other threads keep inserting.
+/// each MatchResult is boxed behind a unique_ptr (value indirection): the
+/// flat map may move its slots on rehash, but the pointed-to MatchResult
+/// never moves, so the reference MatchFor returns stays valid for the QEF's
+/// lifetime even while other threads keep inserting.
 class MatchQualityQef : public Qef {
  public:
   /// `matcher` must outlive the QEF. `source_constraints` must be a subset
@@ -73,10 +75,14 @@ class MatchQualityQef : public Qef {
  private:
   /// Sharded like SignatureCache's union memo and for the same reason: the
   /// parallel neighborhood evaluation hammers this cache from every worker.
+  /// The table is an open-addressing FlatMap (common/flat_map.h) so the
+  /// hit path — the optimizer's common case — is one contiguous probe;
+  /// results are boxed (see class comment) because MatchFor hands out
+  /// references that must survive rehash.
   static constexpr size_t kCacheShards = 8;
   struct CacheShard {
     mutable Mutex mu;
-    std::unordered_map<uint64_t, MatchResult> results GUARDED_BY(mu);
+    FlatMap<std::unique_ptr<MatchResult>> results GUARDED_BY(mu);
     size_t hits GUARDED_BY(mu) = 0;
     size_t misses GUARDED_BY(mu) = 0;
   };

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "sketch/simd.h"
 
 namespace mube {
 
@@ -48,7 +49,25 @@ void PcsaSketch::Add(uint64_t item) {
 }
 
 void PcsaSketch::AddAll(const std::vector<uint64_t>& items) {
-  for (uint64_t item : items) Add(item);
+  // Hand-hoisted loop invariants: Add() re-reads config_.seed / num_maps /
+  // map_bits through `this` on every call, and the compiler cannot keep
+  // them in registers across the store into bitmaps_ (it must assume the
+  // store may alias the members). Locals make the invariance explicit.
+  const uint64_t seed = config_.seed;
+  const uint64_t map_mask = config_.num_maps - 1;
+  const uint32_t map_shift = map_shift_;
+  const uint32_t rho_on_zero = 64 - map_shift;
+  const uint32_t rho_cap = config_.map_bits - 1;
+  uint64_t* const bitmaps = bitmaps_.data();
+  for (uint64_t item : items) {
+    const uint64_t h = Mix64(item ^ seed);
+    const uint64_t map_index = h & map_mask;
+    const uint64_t rest = h >> map_shift;
+    uint32_t rho =
+        (rest == 0) ? rho_on_zero : static_cast<uint32_t>(std::countr_zero(rest));
+    if (rho > rho_cap) rho = rho_cap;
+    bitmaps[map_index] |= (uint64_t{1} << rho);
+  }
 }
 
 Status PcsaSketch::MergeFrom(const PcsaSketch& other) {
@@ -56,19 +75,103 @@ Status PcsaSketch::MergeFrom(const PcsaSketch& other) {
     return Status::InvalidArgument(
         "cannot merge PCSA sketches with different configs");
   }
-  for (size_t i = 0; i < bitmaps_.size(); ++i) {
-    bitmaps_[i] |= other.bitmaps_[i];
+  simd::OrInto(bitmaps_.data(), other.bitmaps_.data(), bitmaps_.size());
+  return Status::OK();
+}
+
+Status PcsaSketch::MergeFromMany(std::span<const PcsaSketch* const> others) {
+  for (const PcsaSketch* other : others) {
+    if (!(config_ == other->config_)) {
+      return Status::InvalidArgument(
+          "cannot merge PCSA sketches with different configs");
+    }
   }
+  if (others.empty()) return Status::OK();
+  // One pass: each destination word is read and written once regardless of k.
+  std::vector<const uint64_t*> srcs;
+  srcs.reserve(others.size());
+  for (const PcsaSketch* other : others) srcs.push_back(other->bitmaps_.data());
+  simd::OrManyInto(bitmaps_.data(), srcs.data(), srcs.size(), bitmaps_.size());
   return Status::OK();
 }
 
 double PcsaSketch::Estimate() const {
   // R_j = index of the lowest zero bit of bitmap j.
-  uint64_t sum_r = 0;
-  for (uint64_t bitmap : bitmaps_) {
-    sum_r += static_cast<uint64_t>(std::countr_one(bitmap));
+  const uint64_t sum_r = simd::TrailingOnesSum(bitmaps_.data(), bitmaps_.size());
+  return EstimateFromTrailingOnesSum(sum_r, config_);
+}
+
+double PcsaSketch::UnionEstimate(std::span<const PcsaSketch* const> sketches) {
+  if (sketches.empty()) return 0.0;
+  const PcsaConfig& config = sketches.front()->config_;
+  std::vector<const uint64_t*> srcs;
+  srcs.reserve(sketches.size());
+  for (const PcsaSketch* sketch : sketches) {
+    MUBE_CHECK(sketch->config_ == config);
+    srcs.push_back(sketch->bitmaps_.data());
   }
-  const double m = static_cast<double>(config_.num_maps);
+  const uint64_t sum_r = simd::UnionTrailingOnesSum(
+      srcs.data(), srcs.size(), sketches.front()->bitmaps_.size());
+  // When every bitmap of the union is zero, sum_r == 0 and the estimator
+  // returns (m/φ)(2^0 − 2^0) = exactly 0.0, so this is also bit-identical to
+  // the old `merged.IsEmpty() ? 0.0 : merged.Estimate()` callers.
+  return EstimateFromTrailingOnesSum(sum_r, config);
+}
+
+void PcsaSketch::UnionEstimateBatch(
+    std::span<const std::vector<const PcsaSketch*>> subsets,
+    std::span<double> out) {
+  MUBE_CHECK(out.size() == subsets.size());
+  if (subsets.empty()) return;
+  // Find a config to validate against (empty subsets contribute none).
+  const PcsaConfig* config = nullptr;
+  for (const std::vector<const PcsaSketch*>& subset : subsets) {
+    if (!subset.empty()) {
+      config = &subset.front()->config_;
+      break;
+    }
+  }
+  if (config == nullptr) {  // all subsets empty
+    for (double& estimate : out) estimate = 0.0;
+    return;
+  }
+  // Flatten the non-empty subsets into the pointer-array-of-arrays shape the
+  // batch kernel takes. Empty subsets are estimated 0.0 directly (matching
+  // UnionEstimate on an empty span) and skipped in the kernel call.
+  std::vector<const uint64_t*> flat;
+  std::vector<const uint64_t* const*> heads;
+  std::vector<size_t> sizes;
+  std::vector<size_t> out_index;
+  size_t total_members = 0;
+  for (const std::vector<const PcsaSketch*>& subset : subsets) {
+    total_members += subset.size();
+  }
+  flat.reserve(total_members);  // heads must not be invalidated by growth
+  for (size_t t = 0; t < subsets.size(); ++t) {
+    if (subsets[t].empty()) {
+      out[t] = 0.0;
+      continue;
+    }
+    heads.push_back(flat.data() + flat.size());
+    sizes.push_back(subsets[t].size());
+    out_index.push_back(t);
+    for (const PcsaSketch* sketch : subsets[t]) {
+      MUBE_CHECK(sketch->config_ == *config);
+      flat.push_back(sketch->bitmaps_.data());
+    }
+  }
+  const size_t words = static_cast<size_t>(config->num_maps);
+  std::vector<uint64_t> sums(heads.size());
+  simd::UnionTrailingOnesSumBatch(heads.data(), sizes.data(), heads.size(),
+                                  words, sums.data());
+  for (size_t j = 0; j < heads.size(); ++j) {
+    out[out_index[j]] = EstimateFromTrailingOnesSum(sums[j], *config);
+  }
+}
+
+double PcsaSketch::EstimateFromTrailingOnesSum(uint64_t sum_r,
+                                               const PcsaConfig& config) {
+  const double m = static_cast<double>(config.num_maps);
   const double mean_r = static_cast<double>(sum_r) / m;
   // FM's corrected estimator: (m/φ)(2^R̄ − 2^{−κ·R̄}) removes the upward
   // bias for cardinalities comparable to m.
@@ -78,10 +181,7 @@ double PcsaSketch::Estimate() const {
 }
 
 bool PcsaSketch::IsEmpty() const {
-  for (uint64_t bitmap : bitmaps_) {
-    if (bitmap != 0) return false;
-  }
-  return true;
+  return simd::AllZero(bitmaps_.data(), bitmaps_.size());
 }
 
 PcsaSketch PcsaSketch::CorruptedCopy(uint64_t seed) const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,11 +70,43 @@ class PcsaSketch {
   /// signature of the union of both tuple sets. Fails on config mismatch.
   Status MergeFrom(const PcsaSketch& other);
 
+  /// Bitwise-ORs all of `others` into this sketch in a single pass over the
+  /// bitmap words (one write per word instead of one per sketch). Fails on
+  /// any config mismatch, in which case this sketch is left unchanged.
+  Status MergeFromMany(std::span<const PcsaSketch* const> others);
+
   /// The Flajolet-Martin estimate of the number of distinct items added.
   /// E = (m / φ) · 2^(R̄) with φ = 0.77351 and R̄ the mean index of the
   /// lowest unset bit over the m bitmaps, with FM's small-cardinality bias
   /// correction term.
   double Estimate() const;
+
+  /// Estimate of |∪ sketches| without materializing the merged signature:
+  /// the union's Σ R_j is accumulated directly from the k source bitmaps in
+  /// one fused pass (no 16 KB temporary, no k−1 read-modify-write sweeps).
+  /// Bit-identical to building the merge with MergeFrom and calling
+  /// Estimate() — and, because Σ R_j = 0 yields exactly 0.0, also to the
+  /// `merged.IsEmpty() ? 0.0 : merged.Estimate()` idiom callers used.
+  /// Returns 0.0 for an empty span; CHECKs that all configs agree.
+  static double UnionEstimate(std::span<const PcsaSketch* const> sketches);
+
+  /// UnionEstimate for many subsets drawn from a shared pool of sketches in
+  /// one call: out[t] = UnionEstimate(subsets[t]), bit for bit. The batch
+  /// kernel is cache-blocked, so a pool signature referenced by several
+  /// subsets is streamed from L2 once per word-block and served to the rest
+  /// from L1 — the win over per-subset calls grows with subset overlap
+  /// (the optimizer scoring candidate source sets is exactly that shape).
+  /// CHECKs out.size() == subsets.size() and that all configs agree.
+  static void UnionEstimateBatch(
+      std::span<const std::vector<const PcsaSketch*>> subsets,
+      std::span<double> out);
+
+  /// The FM estimator as a pure function of Σ_j R_j (the summed index of
+  /// each bitmap's lowest unset bit). Exposed so the benchmark gate and the
+  /// kernel regression tests can compose it with the reference-scalar
+  /// kernels in sketch/simd.h and assert bit-identical doubles.
+  static double EstimateFromTrailingOnesSum(uint64_t sum_r,
+                                            const PcsaConfig& config);
 
   /// True iff no item has been added (all bitmaps zero).
   bool IsEmpty() const;

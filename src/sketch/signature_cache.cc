@@ -53,14 +53,16 @@ void SignatureCache::RefreshSlot(const Universe& universe,
 }
 
 void SignatureCache::RecomputeUniverseUnion() {
-  PcsaSketch all(config_);
-  cooperative_count_ = 0;
+  std::vector<const PcsaSketch*> cooperative;
+  cooperative.reserve(sketches_.size());
   for (const auto& slot : sketches_) {
-    if (!slot.has_value()) continue;
-    MUBE_CHECK(all.MergeFrom(*slot).ok());
-    ++cooperative_count_;
+    if (slot.has_value()) cooperative.push_back(&*slot);
   }
-  universe_union_ = all.IsEmpty() ? 0.0 : all.Estimate();
+  cooperative_count_ = cooperative.size();
+  // Fused union+estimate: no merged 16 KB temporary, one pass over all
+  // cooperative bitmaps. UnionEstimate already returns exactly 0.0 for the
+  // empty union (see pcsa.h), matching the old IsEmpty() special case.
+  universe_union_ = PcsaSketch::UnionEstimate(cooperative);
 }
 
 void SignatureCache::InvalidateIntersecting(uint64_t dirty_mask) {
@@ -69,14 +71,10 @@ void SignatureCache::InvalidateIntersecting(uint64_t dirty_mask) {
   // collisions (ids ≡ mod 64) only cause harmless recomputation.
   for (MemoShard& shard : shards_) {
     MutexLock lock(&shard.mu);
-    for (auto it = shard.memo.begin(); it != shard.memo.end();) {
-      if ((it->second.member_mask & dirty_mask) != 0) {
-        it = shard.memo.erase(it);
-        ++shard.invalidations;
-      } else {
-        ++it;
-      }
-    }
+    shard.invalidations +=
+        shard.memo.EraseIf([dirty_mask](uint64_t, const MemoEntry& entry) {
+          return (entry.member_mask & dirty_mask) != 0;
+        });
   }
 }
 
@@ -120,44 +118,55 @@ double SignatureCache::EstimateUnion(
   MemoShard& shard = shards_[ShardOf(key)];
   {
     MutexLock lock(&shard.mu);
-    auto it = shard.memo.find(key);
-    if (it != shard.memo.end()) {
+    if (const MemoEntry* hit = shard.memo.Find(key)) {
       ++shard.hits;
-      return it->second.estimate;
+      return hit->estimate;
     }
     ++shard.misses;
   }
 
-  // The merge runs outside the lock: it only reads the immutable sketches,
-  // and holding a shard lock across O(|S|) sketch merges would serialize
-  // every concurrent evaluation that hashes to this shard. Two threads
-  // missing on the same key both compute the same bytes; the second insert
-  // is a no-op.
-  PcsaSketch merged(config_);
+  // The estimate runs outside the lock: it only reads the immutable
+  // sketches, and holding a shard lock across O(|S|) bitmap passes would
+  // serialize every concurrent evaluation that hashes to this shard. Two
+  // threads missing on the same key both compute the same bytes; the second
+  // insert is a no-op. The fused UnionEstimate never materializes the
+  // merged signature (no per-call 16 KB temporary) and is bit-identical to
+  // the old pairwise-merge-then-estimate path.
+  std::vector<const PcsaSketch*> members;
+  members.reserve(source_ids.size());
   uint64_t member_mask = 0;
   for (uint32_t sid : source_ids) {
     const PcsaSketch* sketch = SketchOf(sid);
-    if (sketch != nullptr) MUBE_CHECK(merged.MergeFrom(*sketch).ok());
+    if (sketch != nullptr) members.push_back(sketch);
     member_mask |= uint64_t{1} << (sid % 64);
   }
-  const double estimate = merged.IsEmpty() ? 0.0 : merged.Estimate();
+  const double estimate = PcsaSketch::UnionEstimate(members);
 
   {
     MutexLock lock(&shard.mu);
     if (shard.memo.size() >= PerShardCapacity()) {
-      // Cheap batch eviction: drop a quarter of the shard's entries in hash
+      // Cheap batch eviction: drop a quarter of the shard's entries in slot
       // order (effectively random). Keeps the common case allocation-free
       // and avoids tracking recency on the optimizer's hot path.
-      size_t to_evict = std::max<size_t>(1, PerShardCapacity() / 4);
-      for (auto evict = shard.memo.begin();
-           evict != shard.memo.end() && to_evict > 0; --to_evict) {
-        evict = shard.memo.erase(evict);
-        ++shard.evictions;
-      }
+      shard.evictions +=
+          shard.memo.EraseUpTo(std::max<size_t>(1, PerShardCapacity() / 4));
     }
-    shard.memo.emplace(key, MemoEntry{estimate, member_mask});
+    shard.memo.TryEmplace(key, MemoEntry{estimate, member_mask});
   }
   return estimate;
+}
+
+PcsaSketch SignatureCache::UnionSketch(
+    const std::vector<uint32_t>& source_ids) const {
+  std::vector<const PcsaSketch*> members;
+  members.reserve(source_ids.size());
+  for (uint32_t sid : source_ids) {
+    const PcsaSketch* sketch = SketchOf(sid);
+    if (sketch != nullptr) members.push_back(sketch);
+  }
+  PcsaSketch merged(config_);
+  MUBE_CHECK(merged.MergeFromMany(members).ok());
+  return merged;
 }
 
 double SignatureCache::EstimateUniverseUnion() const {
@@ -190,9 +199,9 @@ void SignatureCache::set_memo_capacity(size_t capacity) {
   memo_capacity_ = std::max<size_t>(1, capacity);
   for (MemoShard& shard : shards_) {
     MutexLock lock(&shard.mu);
-    while (shard.memo.size() > PerShardCapacity()) {
-      shard.memo.erase(shard.memo.begin());
-      ++shard.evictions;
+    if (shard.memo.size() > PerShardCapacity()) {
+      shard.evictions +=
+          shard.memo.EraseUpTo(shard.memo.size() - PerShardCapacity());
     }
   }
 }

@@ -6,9 +6,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/thread_annotations.h"
 #include "common/threading.h"
 #include "sketch/pcsa.h"
@@ -104,6 +104,14 @@ class SignatureCache {
   /// — only how it was obtained.
   double EstimateUnion(const std::vector<uint32_t>& source_ids) const;
 
+  /// The merged signature of a subset — the OR of the cached sketches of
+  /// its cooperative members (uncooperative ids skipped), built via the
+  /// single-pass MergeFromMany kernel rather than per-pair merges. Callers
+  /// that need the union *sketch* (reliability completeness accounting) go
+  /// through here; callers that only need the cardinality should prefer
+  /// EstimateUnion, which memoizes and never materializes the merge.
+  PcsaSketch UnionSketch(const std::vector<uint32_t>& source_ids) const;
+
   /// Estimated distinct-tuple count of the union of *all* cooperative
   /// sources — the |∪_{t ∈ U} t| denominator of the Coverage QEF.
   double EstimateUniverseUnion() const;
@@ -144,11 +152,15 @@ class SignatureCache {
   /// The memo is sharded by fingerprint so concurrent EstimateUnion calls
   /// from the optimizer's thread pool contend only when they land on the
   /// same shard, not on one global lock. A subset always maps to the same
-  /// shard (the shard index is a pure function of its fingerprint).
+  /// shard (the shard index is a pure function of its fingerprint). Each
+  /// shard's table is an open-addressing FlatMap (common/flat_map.h): the
+  /// optimizer's hit path costs one probe over contiguous slots instead of
+  /// a bucket-pointer chase, and the estimate is copied out under the lock,
+  /// so the memo needs no reference stability across rehash/eviction.
   static constexpr size_t kMemoShards = 8;
   struct MemoShard {
     mutable Mutex mu;
-    std::unordered_map<uint64_t, MemoEntry> memo GUARDED_BY(mu);
+    FlatMap<MemoEntry> memo GUARDED_BY(mu);
     size_t hits GUARDED_BY(mu) = 0;
     size_t misses GUARDED_BY(mu) = 0;
     size_t evictions GUARDED_BY(mu) = 0;

@@ -1,0 +1,617 @@
+#ifndef MUBE_SKETCH_SIMD_H_
+#define MUBE_SKETCH_SIMD_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+/// \file simd.h
+/// Portable 256-bit-wide word kernels for the µBE hot loops: PCSA signature
+/// OR/merge, trailing-ones (lowest-unset-bit) summation for the FM
+/// estimator, and popcount-over-AND for registered-gram bitset
+/// intersections (text/ngram.h).
+///
+/// Every kernel exists twice:
+///
+///   simd::ref::*  the retained reference-scalar mode — one word per loop
+///                 iteration, compiled with vectorization and unrolling
+///                 disabled so it stays an honest scalar baseline for the
+///                 exit-code speedup bars in bench/micro_benchmarks and for
+///                 the bit-identity regression tests.
+///   simd::*       the production kernels — explicit 4×-unrolled uint64_t
+///                 loops the compiler can auto-vectorize, with 256-bit AVX2
+///                 variants on x86-64.
+///
+/// AVX2 dispatch is compile-time when the translation unit is built with
+/// AVX2 enabled (-march=x86-64-v3, -march=native): the variant is selected
+/// by `#if` and there is no per-call branching. On plain x86-64 builds the
+/// same variants are compiled per-function via
+/// `__attribute__((target("avx2")))` and selected by a one-time CPUID probe
+/// (a cached `__builtin_cpu_supports`), so default builds still get 256-bit
+/// kernels on any CPU from the last decade. Either way a process picks one
+/// implementation per kernel at startup and sticks with it.
+///
+/// Results are identical by construction: every mode performs the same
+/// bitwise OR / AND / popcount / trailing-ones arithmetic, whose results do
+/// not depend on evaluation order or lane width (unlike float sums).
+///
+/// Building with -DMUBE_SIMD=off (CMake) defines MUBE_SIMD_OFF, which makes
+/// every simd::* entry point forward to its simd::ref::* twin: the whole
+/// system then runs in reference-scalar mode for debugging and A/B timing.
+
+#if !defined(MUBE_SIMD_OFF) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MUBE_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#if defined(__AVX2__)
+#define MUBE_SIMD_AVX2_FN inline
+#else
+#define MUBE_SIMD_AVX2_FN __attribute__((target("avx2"))) inline
+#endif
+#endif
+
+// Reference kernels must stay scalar even at -O3: GCC takes per-function
+// optimize attributes; Clang takes per-loop pragmas. noinline keeps them
+// from being inlined into (and re-optimized by) vectorized callers.
+#if defined(__clang__)
+#define MUBE_SIMD_REF_FN __attribute__((noinline))
+#define MUBE_SIMD_REF_LOOP \
+  _Pragma("clang loop vectorize(disable) interleave(disable) unroll(disable)")
+#elif defined(__GNUC__)
+#define MUBE_SIMD_REF_FN                                              \
+  __attribute__((noinline, optimize("no-tree-vectorize",              \
+                                    "no-tree-slp-vectorize",          \
+                                    "no-unroll-loops")))
+#define MUBE_SIMD_REF_LOOP
+#else
+#define MUBE_SIMD_REF_FN
+#define MUBE_SIMD_REF_LOOP
+#endif
+
+namespace mube::simd {
+
+/// Inline popcount that never falls back to a per-word libcall: hardware
+/// popcnt when the target has it, otherwise the classic SWAR reduction
+/// (which the compiler can vectorize across the unrolled kernels below).
+inline uint64_t Popcount64(uint64_t x) {
+#if defined(__POPCNT__)
+  return static_cast<uint64_t>(__builtin_popcountll(x));
+#else
+  x = x - ((x >> 1) & 0x5555555555555555ULL);
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  return (x * 0x0101010101010101ULL) >> 56;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Reference-scalar mode (retained baseline; see file comment)
+// ---------------------------------------------------------------------------
+
+namespace ref {
+
+MUBE_SIMD_REF_FN inline void OrInto(uint64_t* dst, const uint64_t* src,
+                                    size_t n) {
+  MUBE_SIMD_REF_LOOP
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+MUBE_SIMD_REF_FN inline uint64_t TrailingOnesSum(const uint64_t* words,
+                                                 size_t n) {
+  uint64_t sum = 0;
+  MUBE_SIMD_REF_LOOP
+  for (size_t i = 0; i < n; ++i) {
+    sum += static_cast<uint64_t>(std::countr_one(words[i]));
+  }
+  return sum;
+}
+
+MUBE_SIMD_REF_FN inline bool AllZero(const uint64_t* words, size_t n) {
+  MUBE_SIMD_REF_LOOP
+  for (size_t i = 0; i < n; ++i) {
+    if (words[i] != 0) return false;
+  }
+  return true;
+}
+
+MUBE_SIMD_REF_FN inline uint64_t AndPopcount(const uint64_t* a,
+                                             const uint64_t* b, size_t n) {
+  uint64_t sum = 0;
+  MUBE_SIMD_REF_LOOP
+  for (size_t i = 0; i < n; ++i) sum += Popcount64(a[i] & b[i]);
+  return sum;
+}
+
+/// |a ∩ b| of two sorted, deduplicated code arrays by plain linear merge —
+/// the pre-bitset gram-similarity inner loop, kept as the baseline the
+/// gram-similarity speedup bar is measured against.
+MUBE_SIMD_REF_FN inline size_t LinearIntersectionCount(const uint64_t* a,
+                                                       size_t na,
+                                                       const uint64_t* b,
+                                                       size_t nb) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  MUBE_SIMD_REF_LOOP
+  while (i < na && j < nb) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace ref
+
+// ---------------------------------------------------------------------------
+// Production kernels
+// ---------------------------------------------------------------------------
+
+#if defined(MUBE_SIMD_OFF)
+
+inline void OrInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  ref::OrInto(dst, src, n);
+}
+
+inline uint64_t TrailingOnesSum(const uint64_t* words, size_t n) {
+  return ref::TrailingOnesSum(words, n);
+}
+
+inline bool AllZero(const uint64_t* words, size_t n) {
+  return ref::AllZero(words, n);
+}
+
+inline uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  return ref::AndPopcount(a, b, n);
+}
+
+inline void OrManyInto(uint64_t* dst, const uint64_t* const* srcs, size_t k,
+                       size_t n) {
+  for (size_t s = 0; s < k; ++s) ref::OrInto(dst, srcs[s], n);
+}
+
+inline uint64_t UnionTrailingOnesSum(const uint64_t* const* srcs, size_t k,
+                                     size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t w = 0;
+    for (size_t s = 0; s < k; ++s) w |= srcs[s][i];
+    sum += static_cast<uint64_t>(std::countr_one(w));
+  }
+  return sum;
+}
+
+inline void UnionTrailingOnesSumBatch(const uint64_t* const* const* subsets,
+                                      const size_t* subset_sizes,
+                                      size_t num_subsets, size_t n,
+                                      uint64_t* sums) {
+  for (size_t t = 0; t < num_subsets; ++t) {
+    sums[t] = UnionTrailingOnesSum(subsets[t], subset_sizes[t], n);
+  }
+}
+
+#else  // !MUBE_SIMD_OFF
+
+#if defined(MUBE_SIMD_HAVE_AVX2)
+
+/// True iff the AVX2 variants may be called. Constant-folds to `true` when
+/// the TU is compiled with AVX2; otherwise one cached CPUID query.
+inline bool HasAvx2() {
+#if defined(__AVX2__)
+  return true;
+#else
+  static const bool kHasAvx2 = __builtin_cpu_supports("avx2") != 0;
+  return kHasAvx2;
+#endif
+}
+
+namespace detail {
+
+MUBE_SIMD_AVX2_FN void OrIntoAvx2(uint64_t* dst, const uint64_t* src,
+                                  size_t n) {
+  const size_t vec_end = n & ~size_t{3};
+  size_t i = 0;
+  for (; i < vec_end; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+MUBE_SIMD_AVX2_FN void OrManyIntoAvx2(uint64_t* dst,
+                                      const uint64_t* const* srcs, size_t k,
+                                      size_t n) {
+  const size_t vec_end = n & ~size_t{15};
+  size_t i = 0;
+  // 16 words (four 256-bit accumulators) per block: four independent OR
+  // chains hide the 1-cycle OR latency behind the 2-per-cycle loads.
+  for (; i < vec_end; i += 16) {
+    __m256i acc0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i acc1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 4));
+    __m256i acc2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 8));
+    __m256i acc3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 12));
+    for (size_t s = 0; s < k; ++s) {
+      const uint64_t* p = srcs[s] + i;
+      acc0 = _mm256_or_si256(
+          acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+      acc1 = _mm256_or_si256(
+          acc1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4)));
+      acc2 = _mm256_or_si256(
+          acc2, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 8)));
+      acc3 = _mm256_or_si256(
+          acc3, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 12)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4), acc1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 8), acc2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 12), acc3);
+  }
+  for (; i < n; ++i) {
+    uint64_t w = dst[i];
+    for (size_t s = 0; s < k; ++s) w |= srcs[s][i];
+    dst[i] = w;
+  }
+}
+
+/// Per-64-bit-lane countr_one of x, as four epi64 counts. Uses the identity
+/// countr_one(x) = popcount((~x − 1) & x), which is exact for every x
+/// including 0 (→ 0) and all-ones (→ 64) — the (x ^ (x+1)) trick is NOT
+/// exact at all-ones, so it is deliberately not used here. The popcount is
+/// the classic in-register nibble LUT (vpshufb) + vpsadbw horizontal sum;
+/// AVX2 has no per-lane popcount or tzcnt, and round-tripping lanes through
+/// memory for scalar tzcnt costs more than these ~8 ops.
+MUBE_SIMD_AVX2_FN __m256i CountrOne64Avx2(__m256i x) {
+  const __m256i all_ones = _mm256_set1_epi64x(-1);
+  const __m256i one64 = _mm256_set1_epi64x(1);
+  const __m256i nibble_pop =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_nibble = _mm256_set1_epi8(0x0f);
+  const __m256i not_x = _mm256_xor_si256(x, all_ones);
+  const __m256i mask =
+      _mm256_and_si256(_mm256_sub_epi64(not_x, one64), x);
+  const __m256i lo = _mm256_and_si256(mask, low_nibble);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi16(mask, 4), low_nibble);
+  const __m256i per_byte =
+      _mm256_add_epi8(_mm256_shuffle_epi8(nibble_pop, lo),
+                      _mm256_shuffle_epi8(nibble_pop, hi));
+  return _mm256_sad_epu8(per_byte, _mm256_setzero_si256());
+}
+
+MUBE_SIMD_AVX2_FN uint64_t TrailingOnesSumAvx2(const uint64_t* words,
+                                               size_t n) {
+  __m256i total = _mm256_setzero_si256();
+  const size_t vec_end = n & ~size_t{3};
+  size_t i = 0;
+  uint64_t tail = 0;
+  for (; i < vec_end; i += 4) {
+    const __m256i w =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    total = _mm256_add_epi64(total, CountrOne64Avx2(w));
+  }
+  for (; i < n; ++i) {
+    tail += static_cast<uint64_t>(std::countr_one(words[i]));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), total);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + tail;
+}
+
+MUBE_SIMD_AVX2_FN uint64_t UnionTrailingOnesSumAvx2(
+    const uint64_t* const* srcs, size_t k, size_t n) {
+  __m256i total = _mm256_setzero_si256();
+  const size_t vec_end = n & ~size_t{15};
+  size_t i = 0;
+  uint64_t tail = 0;
+  // 16 words (four 256-bit accumulators) per block: four independent OR
+  // chains hide the 1-cycle OR latency behind the 2-per-cycle loads.
+  for (; i < vec_end; i += 16) {
+    __m256i acc0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[0] + i));
+    __m256i acc1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[0] + i + 4));
+    __m256i acc2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[0] + i + 8));
+    __m256i acc3 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(srcs[0] + i + 12));
+    for (size_t s = 1; s < k; ++s) {
+      const uint64_t* p = srcs[s] + i;
+      acc0 = _mm256_or_si256(
+          acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+      acc1 = _mm256_or_si256(
+          acc1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4)));
+      acc2 = _mm256_or_si256(
+          acc2, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 8)));
+      acc3 = _mm256_or_si256(
+          acc3, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 12)));
+    }
+    total = _mm256_add_epi64(total, CountrOne64Avx2(acc0));
+    total = _mm256_add_epi64(total, CountrOne64Avx2(acc1));
+    total = _mm256_add_epi64(total, CountrOne64Avx2(acc2));
+    total = _mm256_add_epi64(total, CountrOne64Avx2(acc3));
+  }
+  for (; i < n; ++i) {
+    uint64_t w = srcs[0][i];
+    for (size_t s = 1; s < k; ++s) w |= srcs[s][i];
+    tail += static_cast<uint64_t>(std::countr_one(w));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), total);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + tail;
+}
+
+MUBE_SIMD_AVX2_FN void UnionTrailingOnesSumBatchAvx2(
+    const uint64_t* const* const* subsets, const size_t* subset_sizes,
+    size_t num_subsets, size_t n, uint64_t* sums) {
+  // Word-blocks outer, subsets inner: a pool signature shared by several
+  // subsets has its 1 KiB block pulled into L1 by the first subset and hit
+  // there by the rest, instead of being re-streamed from L2 per subset.
+  // 24 pool signatures × 1 KiB = 24 KiB, comfortably inside a 32–48 KiB L1d.
+  constexpr size_t kBlockWords = 128;
+  for (size_t t = 0; t < num_subsets; ++t) sums[t] = 0;
+  size_t i = 0;
+  while (i + 16 <= n) {
+    const size_t vec_end = (n / 16) * 16;
+    const size_t block_end =
+        i + kBlockWords <= vec_end ? i + kBlockWords : vec_end;
+    for (size_t t = 0; t < num_subsets; ++t) {
+      const uint64_t* const* srcs = subsets[t];
+      const size_t k = subset_sizes[t];
+      __m256i total = _mm256_setzero_si256();
+      for (size_t w = i; w + 16 <= block_end; w += 16) {
+        __m256i acc0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[0] + w));
+        __m256i acc1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(srcs[0] + w + 4));
+        __m256i acc2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(srcs[0] + w + 8));
+        __m256i acc3 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(srcs[0] + w + 12));
+        for (size_t s = 1; s < k; ++s) {
+          const uint64_t* p = srcs[s] + w;
+          acc0 = _mm256_or_si256(
+              acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+          acc1 = _mm256_or_si256(
+              acc1,
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4)));
+          acc2 = _mm256_or_si256(
+              acc2,
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 8)));
+          acc3 = _mm256_or_si256(
+              acc3,
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 12)));
+        }
+        total = _mm256_add_epi64(total, CountrOne64Avx2(acc0));
+        total = _mm256_add_epi64(total, CountrOne64Avx2(acc1));
+        total = _mm256_add_epi64(total, CountrOne64Avx2(acc2));
+        total = _mm256_add_epi64(total, CountrOne64Avx2(acc3));
+      }
+      alignas(32) uint64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), total);
+      sums[t] += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    }
+    i = block_end;
+  }
+  for (; i < n; ++i) {
+    for (size_t t = 0; t < num_subsets; ++t) {
+      uint64_t w = subsets[t][0][i];
+      for (size_t s = 1; s < subset_sizes[t]; ++s) w |= subsets[t][s][i];
+      sums[t] += static_cast<uint64_t>(std::countr_one(w));
+    }
+  }
+}
+
+MUBE_SIMD_AVX2_FN uint64_t AndPopcountAvx2(const uint64_t* a,
+                                           const uint64_t* b, size_t n) {
+  uint64_t sum = 0;
+  size_t i = 0;
+  alignas(32) uint64_t lanes[4];
+  for (; i < (n & ~size_t{3}); i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                       _mm256_and_si256(va, vb));
+    // AVX2 implies POPCNT, so these are four hardware popcnt instructions.
+    sum += static_cast<uint64_t>(__builtin_popcountll(lanes[0])) +
+           static_cast<uint64_t>(__builtin_popcountll(lanes[1])) +
+           static_cast<uint64_t>(__builtin_popcountll(lanes[2])) +
+           static_cast<uint64_t>(__builtin_popcountll(lanes[3]));
+  }
+  for (; i < n; ++i) {
+    sum += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return sum;
+}
+
+}  // namespace detail
+
+#endif  // MUBE_SIMD_HAVE_AVX2
+
+/// dst[i] |= src[i] for i < n. One read-modify-write pass, 256 bits wide.
+inline void OrInto(uint64_t* dst, const uint64_t* src, size_t n) {
+#if defined(MUBE_SIMD_HAVE_AVX2)
+  if (HasAvx2()) {
+    detail::OrIntoAvx2(dst, src, n);
+    return;
+  }
+#endif
+  const size_t vec_end = n & ~size_t{3};
+  size_t i = 0;
+  for (; i < vec_end; i += 4) {
+    dst[i] |= src[i];
+    dst[i + 1] |= src[i + 1];
+    dst[i + 2] |= src[i + 2];
+    dst[i + 3] |= src[i + 3];
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+/// dst[i] |= srcs[0][i] | ... | srcs[k-1][i]: ORs k signatures into dst in a
+/// single write pass instead of k read-modify-write passes.
+inline void OrManyInto(uint64_t* dst, const uint64_t* const* srcs, size_t k,
+                       size_t n) {
+#if defined(MUBE_SIMD_HAVE_AVX2)
+  if (HasAvx2()) {
+    detail::OrManyIntoAvx2(dst, srcs, k, n);
+    return;
+  }
+#endif
+  const size_t vec_end = n & ~size_t{3};
+  size_t i = 0;
+  for (; i < vec_end; i += 4) {
+    uint64_t w0 = dst[i];
+    uint64_t w1 = dst[i + 1];
+    uint64_t w2 = dst[i + 2];
+    uint64_t w3 = dst[i + 3];
+    for (size_t s = 0; s < k; ++s) {
+      const uint64_t* p = srcs[s] + i;
+      w0 |= p[0];
+      w1 |= p[1];
+      w2 |= p[2];
+      w3 |= p[3];
+    }
+    dst[i] = w0;
+    dst[i + 1] = w1;
+    dst[i + 2] = w2;
+    dst[i + 3] = w3;
+  }
+  for (; i < n; ++i) {
+    uint64_t w = dst[i];
+    for (size_t s = 0; s < k; ++s) w |= srcs[s][i];
+    dst[i] = w;
+  }
+}
+
+/// Σ_i countr_one(words[i]) — the Σ_j R_j input of the FM estimator.
+inline uint64_t TrailingOnesSum(const uint64_t* words, size_t n) {
+#if defined(MUBE_SIMD_HAVE_AVX2)
+  if (HasAvx2()) return detail::TrailingOnesSumAvx2(words, n);
+#endif
+  uint64_t sum = 0;
+  const size_t vec_end = n & ~size_t{3};
+  size_t i = 0;
+  for (; i < vec_end; i += 4) {
+    sum += static_cast<uint64_t>(std::countr_one(words[i])) +
+           static_cast<uint64_t>(std::countr_one(words[i + 1])) +
+           static_cast<uint64_t>(std::countr_one(words[i + 2])) +
+           static_cast<uint64_t>(std::countr_one(words[i + 3]));
+  }
+  for (; i < n; ++i) {
+    sum += static_cast<uint64_t>(std::countr_one(words[i]));
+  }
+  return sum;
+}
+
+/// Σ_i countr_one(srcs[0][i] | ... | srcs[k-1][i]) without materializing the
+/// merged signature: the fused union+estimate kernel behind
+/// PcsaSketch::UnionEstimate. Requires k >= 1.
+inline uint64_t UnionTrailingOnesSum(const uint64_t* const* srcs, size_t k,
+                                     size_t n) {
+#if defined(MUBE_SIMD_HAVE_AVX2)
+  if (HasAvx2()) return detail::UnionTrailingOnesSumAvx2(srcs, k, n);
+#endif
+  uint64_t sum = 0;
+  const size_t vec_end = n & ~size_t{3};
+  size_t i = 0;
+  for (; i < vec_end; i += 4) {
+    uint64_t w0 = srcs[0][i];
+    uint64_t w1 = srcs[0][i + 1];
+    uint64_t w2 = srcs[0][i + 2];
+    uint64_t w3 = srcs[0][i + 3];
+    for (size_t s = 1; s < k; ++s) {
+      const uint64_t* p = srcs[s] + i;
+      w0 |= p[0];
+      w1 |= p[1];
+      w2 |= p[2];
+      w3 |= p[3];
+    }
+    sum += static_cast<uint64_t>(std::countr_one(w0)) +
+           static_cast<uint64_t>(std::countr_one(w1)) +
+           static_cast<uint64_t>(std::countr_one(w2)) +
+           static_cast<uint64_t>(std::countr_one(w3));
+  }
+  for (; i < n; ++i) {
+    uint64_t w = srcs[0][i];
+    for (size_t s = 1; s < k; ++s) w |= srcs[s][i];
+    sum += static_cast<uint64_t>(std::countr_one(w));
+  }
+  return sum;
+}
+
+/// sums[t] = Σ_i countr_one(srcs_t[0][i] | ... | srcs_t[k_t-1][i]) for each
+/// of `num_subsets` subsets over a shared pool of signatures — the batched
+/// form of UnionTrailingOnesSum behind PcsaSketch::UnionEstimateBatch.
+/// Cache-blocked so pool words shared across subsets are read from L2 once
+/// per word-block instead of once per subset. Every subset_sizes[t] must be
+/// >= 1. Values are identical to calling UnionTrailingOnesSum per subset.
+inline void UnionTrailingOnesSumBatch(const uint64_t* const* const* subsets,
+                                      const size_t* subset_sizes,
+                                      size_t num_subsets, size_t n,
+                                      uint64_t* sums) {
+#if defined(MUBE_SIMD_HAVE_AVX2)
+  if (HasAvx2()) {
+    detail::UnionTrailingOnesSumBatchAvx2(subsets, subset_sizes, num_subsets,
+                                          n, sums);
+    return;
+  }
+#endif
+  for (size_t t = 0; t < num_subsets; ++t) {
+    sums[t] = UnionTrailingOnesSum(subsets[t], subset_sizes[t], n);
+  }
+}
+
+/// True iff every word is zero. Early-exits per 256-bit block (the result is
+/// a pure predicate, so early exit cannot change it).
+inline bool AllZero(const uint64_t* words, size_t n) {
+  const size_t vec_end = n & ~size_t{3};
+  size_t i = 0;
+  for (; i < vec_end; i += 4) {
+    if ((words[i] | words[i + 1] | words[i + 2] | words[i + 3]) != 0) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (words[i] != 0) return false;
+  }
+  return true;
+}
+
+/// Σ_i popcount(a[i] & b[i]) — bitset intersection cardinality; the inner
+/// loop of the registered-gram similarity path (text/ngram.h GramBitsets).
+inline uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+#if defined(MUBE_SIMD_HAVE_AVX2)
+  if (HasAvx2()) return detail::AndPopcountAvx2(a, b, n);
+#endif
+  uint64_t sum = 0;
+  const size_t vec_end = n & ~size_t{3};
+  size_t i = 0;
+  for (; i < vec_end; i += 4) {
+    sum += Popcount64(a[i] & b[i]) + Popcount64(a[i + 1] & b[i + 1]) +
+           Popcount64(a[i + 2] & b[i + 2]) + Popcount64(a[i + 3] & b[i + 3]);
+  }
+  for (; i < n; ++i) sum += Popcount64(a[i] & b[i]);
+  return sum;
+}
+
+#endif  // MUBE_SIMD_OFF
+
+}  // namespace mube::simd
+
+#endif  // MUBE_SKETCH_SIMD_H_

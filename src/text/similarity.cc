@@ -26,10 +26,17 @@ std::vector<uint64_t> NGramJaccard::PrepareTokens(
 
 double NGramJaccard::SimilarityFromTokens(
     const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) const {
-  if (a.empty() || b.empty()) return 0.0;
-  const size_t inter = SortedIntersectionSize(a, b);
-  const size_t uni = a.size() + b.size() - inter;
-  return static_cast<double>(inter) / static_cast<double>(uni);
+  // Delegation makes the token and count paths bit-identical by
+  // construction: both feed the same integers into the same arithmetic.
+  return SimilarityFromCounts(SortedIntersectionSize(a, b), a.size(),
+                              b.size());
+}
+
+double NGramJaccard::SimilarityFromCounts(size_t intersection, size_t size_a,
+                                          size_t size_b) const {
+  if (size_a == 0 || size_b == 0) return 0.0;
+  const size_t uni = size_a + size_b - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
 }
 
 double NGramDice::Similarity(std::string_view a, std::string_view b) const {
@@ -48,10 +55,15 @@ std::vector<uint64_t> NGramDice::PrepareTokens(std::string_view text) const {
 
 double NGramDice::SimilarityFromTokens(const std::vector<uint64_t>& a,
                                        const std::vector<uint64_t>& b) const {
-  if (a.empty() || b.empty()) return 0.0;
-  const size_t inter = SortedIntersectionSize(a, b);
-  return 2.0 * static_cast<double>(inter) /
-         static_cast<double>(a.size() + b.size());
+  return SimilarityFromCounts(SortedIntersectionSize(a, b), a.size(),
+                              b.size());
+}
+
+double NGramDice::SimilarityFromCounts(size_t intersection, size_t size_a,
+                                       size_t size_b) const {
+  if (size_a == 0 || size_b == 0) return 0.0;
+  return 2.0 * static_cast<double>(intersection) /
+         static_cast<double>(size_a + size_b);
 }
 
 double LevenshteinSimilarity::Similarity(std::string_view a,

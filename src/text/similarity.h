@@ -54,6 +54,26 @@ class SimilarityMeasure {
     return 0.0;
   }
   /// @}
+
+  /// \name Set-count fast path
+  /// A step beyond prepared tokens: measures that are pure functions of
+  /// (|A ∩ B|, |A|, |B|) — Jaccard, Dice — opt in here, which lets the
+  /// similarity matrix compute the intersection cardinality however is
+  /// cheapest (registered-gram bitsets via popcount-over-AND; see
+  /// text/ngram.h GramBitsets) and feed the counts in. Implementations must
+  /// satisfy SimilarityFromTokens(a, b) ==
+  /// SimilarityFromCounts(SortedIntersectionSize(a, b), a.size(), b.size())
+  /// bit-for-bit — the token path below delegates to guarantee it.
+  /// @{
+  virtual bool SupportsSetCounts() const { return false; }
+  virtual double SimilarityFromCounts(size_t intersection, size_t size_a,
+                                      size_t size_b) const {
+    (void)intersection;
+    (void)size_a;
+    (void)size_b;
+    return 0.0;
+  }
+  /// @}
 };
 
 /// \brief Jaccard coefficient |G(a) ∩ G(b)| / |G(a) ∪ G(b)| over character
@@ -72,6 +92,10 @@ class NGramJaccard : public SimilarityMeasure {
       const std::vector<uint64_t>& a,
       const std::vector<uint64_t>& b) const override;
 
+  bool SupportsSetCounts() const override { return true; }
+  double SimilarityFromCounts(size_t intersection, size_t size_a,
+                              size_t size_b) const override;
+
  private:
   size_t n_;
 };
@@ -88,6 +112,10 @@ class NGramDice : public SimilarityMeasure {
   double SimilarityFromTokens(
       const std::vector<uint64_t>& a,
       const std::vector<uint64_t>& b) const override;
+
+  bool SupportsSetCounts() const override { return true; }
+  double SimilarityFromCounts(size_t intersection, size_t size_a,
+                              size_t size_b) const override;
 
  private:
   size_t n_;

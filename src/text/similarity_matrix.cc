@@ -1,9 +1,11 @@
 #include "text/similarity_matrix.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/threading.h"
 #include "schema/universe.h"
+#include "text/ngram.h"
 
 namespace mube {
 
@@ -71,6 +73,18 @@ void SimilarityMatrix::Recompute(const Universe& universe,
     }
   }
 
+  // Count-based measures (Jaccard/Dice) get the registered-gram layout:
+  // one corpus dictionary, one fixed-width bitset row per attribute, and
+  // the pair kernel becomes popcount-over-AND (see text/ngram.h). Counts
+  // are exact, so the resulting floats are bit-identical to the
+  // sorted-vector path. Falls back automatically when the corpus gram
+  // vocabulary is too wide for bitsets to pay off.
+  std::optional<GramBitsets> bitsets;
+  if (prepared && measure.SupportsSetCounts()) {
+    bitsets.emplace(tokens);
+    if (!bitsets->usable()) bitsets.reset();
+  }
+
   threads = ResolveThreadCount(threads);
   threads = std::min<unsigned>(
       threads, static_cast<unsigned>(std::max<size_t>(1, n_ / 2)));
@@ -88,25 +102,51 @@ void SimilarityMatrix::Recompute(const Universe& universe,
   std::vector<std::vector<float>> partial_max(
       threads, std::vector<float>(n_, 0.0f));
   std::vector<size_t> partial_calls(threads, 0);
+
+  // Column tiling: on the bitset path the inner loop streams row j's words,
+  // so bounding the j-range keeps the touched rows (~256 KB of bitset per
+  // tile) L2-resident across all of worker t's i-rows instead of streaming
+  // the whole corpus through cache once per i. tile width ≥64 keeps the
+  // per-tile bookkeeping negligible. The non-bitset path uses one
+  // full-width tile — byte-for-byte the original traversal order. Tiling
+  // cannot affect results regardless: each (i, j) pair is visited exactly
+  // once, its packed slot is written by exactly one worker, and the
+  // row-max float reduction is order-independent (max, not sum).
+  const size_t tile_cols =
+      bitsets ? std::max<size_t>(64, (size_t{256} << 10) / (bitsets->words() * 8))
+              : n_;
+
   auto worker = [&](size_t t) {
     std::vector<float>& my_max = partial_max[t];
     size_t my_calls = 0;
-    for (size_t i = t; i < n_; i += threads) {
-      for (size_t j = i + 1; j < n_; ++j) {
-        if (source_of[i] == source_of[j]) continue;  // never comparable
-        if (!live_of[i] || !live_of[j]) continue;    // retired: stays 0
-        float sim;
-        if (j < old_n && !dirty_attrs[i] && !dirty_attrs[j]) {
-          sim = old_values[old_offset(i, j)];  // untouched pair: reuse
-        } else {
-          sim = static_cast<float>(
-              prepared ? measure.SimilarityFromTokens(tokens[i], tokens[j])
-                       : measure.Similarity(*name_of[i], *name_of[j]));
-          ++my_calls;
+    auto eval_pair = [&](size_t i, size_t j) {
+      if (source_of[i] == source_of[j]) return;  // never comparable
+      if (!live_of[i] || !live_of[j]) return;    // retired: stays 0
+      float sim;
+      if (j < old_n && !dirty_attrs[i] && !dirty_attrs[j]) {
+        sim = old_values[old_offset(i, j)];  // untouched pair: reuse
+      } else if (bitsets) {
+        sim = static_cast<float>(measure.SimilarityFromCounts(
+            bitsets->IntersectionSize(i, j), tokens[i].size(),
+            tokens[j].size()));
+        ++my_calls;
+      } else {
+        sim = static_cast<float>(
+            prepared ? measure.SimilarityFromTokens(tokens[i], tokens[j])
+                     : measure.Similarity(*name_of[i], *name_of[j]));
+        ++my_calls;
+      }
+      values_[Offset(i, j)] = sim;
+      my_max[i] = std::max(my_max[i], sim);
+      my_max[j] = std::max(my_max[j], sim);
+    };
+    for (size_t jb = 0; jb < n_; jb += tile_cols) {
+      const size_t jb_end = std::min(n_, jb + tile_cols);
+      for (size_t i = t; i < n_; i += threads) {
+        if (i + 1 >= jb_end) continue;  // no j > i in this tile
+        for (size_t j = std::max(i + 1, jb); j < jb_end; ++j) {
+          eval_pair(i, j);
         }
-        values_[Offset(i, j)] = sim;
-        my_max[i] = std::max(my_max[i], sim);
-        my_max[j] = std::max(my_max[j], sim);
       }
     }
     partial_calls[t] = my_calls;

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/det.h"
+#include "common/flat_map.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -390,6 +392,169 @@ TEST(DetTest, EmptyContainersYieldEmptyVectors) {
   EXPECT_TRUE(det::SortedKeys(empty_map).empty());
   EXPECT_TRUE(det::SortedItems(empty_map).empty());
   EXPECT_TRUE(det::SortedValues(empty_set).empty());
+}
+
+// ---------------------------------------------------------------- FlatMap --
+
+TEST(FlatMapTest, EmptyMapBasics) {
+  FlatMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_FALSE(map.Erase(42));
+  EXPECT_EQ(map.EraseUpTo(10), 0u);
+  EXPECT_EQ(map.EraseIf([](uint64_t, int) { return true; }), 0u);
+}
+
+TEST(FlatMapTest, TryEmplaceConstructsOnlyOnInsert) {
+  FlatMap<std::string> map;
+  auto [first, inserted] = map.TryEmplace(7, "original");
+  ASSERT_TRUE(inserted);
+  EXPECT_EQ(*first, "original");
+  // Second emplace for the same key must return the existing value and must
+  // NOT construct/overwrite with the new arguments.
+  auto [second, inserted_again] = map.TryEmplace(7, "clobber");
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(*second, "original");
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, DifferentialAgainstUnorderedMapUnderChurn) {
+  // The memo workload: interleaved insert / lookup / erase at high load,
+  // including re-insertion of previously erased keys (the case tombstone
+  // schemes degrade on and robin-hood backward-shift must get right).
+  FlatMap<uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  Rng rng(99);
+  for (int op = 0; op < 20'000; ++op) {
+    const uint64_t key = rng.Uniform(512);  // small key space -> collisions
+    const uint32_t action = static_cast<uint32_t>(rng.Uniform(10));
+    if (action < 5) {  // insert
+      const uint64_t value = rng.Next();
+      auto [ptr, inserted] = map.TryEmplace(key, value);
+      const auto [it, ref_inserted] = reference.try_emplace(key, value);
+      ASSERT_EQ(inserted, ref_inserted);
+      ASSERT_EQ(*ptr, it->second);
+    } else if (action < 8) {  // lookup
+      const uint64_t* found = map.Find(key);
+      const auto it = reference.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end());
+      if (found != nullptr) {
+        ASSERT_EQ(*found, it->second);
+      }
+    } else {  // erase
+      ASSERT_EQ(map.Erase(key), reference.erase(key) > 0);
+    }
+    ASSERT_EQ(map.size(), reference.size());
+  }
+  // Full-content sweep at the end: every surviving entry agrees.
+  size_t seen = 0;
+  // Order-insensitive: each entry is checked against `reference` alone.
+  map.ForEach([&](uint64_t key, const uint64_t& value) {  // NOLINT(det-iteration)
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << key;
+    ASSERT_EQ(value, it->second);
+    ++seen;
+  });
+  EXPECT_EQ(seen, reference.size());
+}
+
+TEST(FlatMapTest, GrowthPreservesAllEntries) {
+  FlatMap<uint64_t> map;
+  constexpr uint64_t kCount = 10'000;  // forces many rehashes from capacity 16
+  for (uint64_t i = 0; i < kCount; ++i) {
+    auto [ptr, inserted] = map.TryEmplace(i * 0x9E3779B97F4A7C15ULL, i);
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(*ptr, i);
+  }
+  ASSERT_EQ(map.size(), kCount);
+  for (uint64_t i = 0; i < kCount; ++i) {
+    const uint64_t* found = map.Find(i * 0x9E3779B97F4A7C15ULL);
+    ASSERT_NE(found, nullptr) << i;
+    ASSERT_EQ(*found, i);
+  }
+}
+
+TEST(FlatMapTest, EraseIfRemovesExactlyMatchingEntries) {
+  // EraseIf may re-examine entries (backward shift across the wrap-around
+  // boundary) but must erase each matching entry exactly once and never
+  // skip one — checked here by exact count and surviving-set content.
+  FlatMap<uint64_t> map;
+  constexpr uint64_t kCount = 4096;
+  for (uint64_t key = 0; key < kCount; ++key) map.TryEmplace(key, key);
+  const size_t erased = map.EraseIf(
+      [](uint64_t, const uint64_t& value) { return value % 3 == 0; });
+  EXPECT_EQ(erased, (kCount + 2) / 3);
+  EXPECT_EQ(map.size(), kCount - erased);
+  for (uint64_t key = 0; key < kCount; ++key) {
+    const uint64_t* found = map.Find(key);
+    if (key % 3 == 0) {
+      ASSERT_EQ(found, nullptr) << key;
+    } else {
+      ASSERT_NE(found, nullptr) << key;
+      ASSERT_EQ(*found, key);
+    }
+  }
+}
+
+TEST(FlatMapTest, EraseIfSeesEachSurvivorAtLeastOnce) {
+  // The documented purity contract: pred can be called more than once per
+  // entry but every entry is examined. Count distinct keys presented.
+  FlatMap<int> map;
+  for (uint64_t key = 1; key <= 300; ++key) map.TryEmplace(key, 0);
+  std::unordered_set<uint64_t> examined;
+  map.EraseIf([&](uint64_t key, int) {
+    examined.insert(key);
+    return key % 7 == 0;  // pure: same answer on re-examination
+  });
+  EXPECT_EQ(examined.size(), 300u);
+}
+
+TEST(FlatMapTest, EraseUpToEvictsRequestedCount) {
+  FlatMap<uint64_t> map;
+  for (uint64_t key = 0; key < 100; ++key) map.TryEmplace(key, key);
+  EXPECT_EQ(map.EraseUpTo(25), 25u);
+  EXPECT_EQ(map.size(), 75u);
+  // Evicting more than present stops at empty.
+  EXPECT_EQ(map.EraseUpTo(1'000), 75u);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  // The match-memo boxing pattern: FlatMap<std::unique_ptr<T>> must survive
+  // growth, erase-shifts, and Clear without copying values.
+  FlatMap<std::unique_ptr<uint64_t>> map;
+  for (uint64_t key = 0; key < 500; ++key) {
+    auto [ptr, inserted] =
+        map.TryEmplace(key, std::make_unique<uint64_t>(key * 11));
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(**ptr, key * 11);
+  }
+  for (uint64_t key = 0; key < 500; key += 2) ASSERT_TRUE(map.Erase(key));
+  for (uint64_t key = 1; key < 500; key += 2) {
+    auto* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << key;
+    ASSERT_EQ(**found, key * 11);
+  }
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+}
+
+TEST(FlatMapTest, BoxedValuePointeeStableAcrossRehash) {
+  // Slot pointers move on rehash, but the boxed pointee must not — this is
+  // the reference-stability contract qef/match_qef.h relies on when handing
+  // out MatchResult references across memo mutations.
+  FlatMap<std::unique_ptr<uint64_t>> map;
+  auto [first, inserted] = map.TryEmplace(1, std::make_unique<uint64_t>(77));
+  ASSERT_TRUE(inserted);
+  const uint64_t* pointee = first->get();
+  for (uint64_t key = 2; key < 5'000; ++key) {  // force several rehashes
+    map.TryEmplace(key, std::make_unique<uint64_t>(key));
+  }
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(map.Find(1)->get(), pointee);
+  EXPECT_EQ(**map.Find(1), 77u);
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 // The cache stress tests are intentionally data-race bait: run them under
 // TSan (cmake -DMUBE_SANITIZE=thread) to turn latent races into failures.
 
+#include <algorithm>
 #include <atomic>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -237,6 +239,77 @@ TEST(QefSetConcurrencyTest, PooledEvaluateAllMatchesSerial) {
     for (size_t i = 0; i < serial.size(); ++i) {
       EXPECT_DOUBLE_EQ(serial[i], pooled[i]);
     }
+  }
+}
+
+TEST(SignatureCacheConcurrencyTest, TinyMemoCapacityChurnStaysConsistent) {
+  // The flat-map memo under its worst case: capacity far below the working
+  // set, so every round is a storm of misses, quarter-capacity eviction
+  // sweeps, and re-insertions across all 8 shards concurrently. Estimates
+  // must still match a churn-free serial reference bit for bit.
+  CacheFixture f;
+  const auto subsets = f.Subsets();
+
+  SignatureCache reference(f.universe_, PcsaConfig());
+  std::vector<double> expected;
+  expected.reserve(subsets.size());
+  for (const auto& s : subsets) expected.push_back(reference.EstimateUnion(s));
+
+  f.cache_->set_memo_capacity(8);  // 66 distinct subsets -> constant eviction
+  std::vector<double> got(subsets.size() * 16, -1.0);
+  ThreadPool pool(8);
+  pool.ParallelFor(got.size(), [&](size_t k) {
+    got[k] = f.cache_->EstimateUnion(subsets[k % subsets.size()]);
+  });
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_DOUBLE_EQ(got[k], expected[k % subsets.size()]) << k;
+  }
+  const auto stats = f.cache_->memo_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.misses, subsets.size());  // re-computation after eviction
+}
+
+TEST(MatchQefConcurrencyTest, MatchForReferencesSurviveCacheGrowth) {
+  // MatchFor hands out references into the memo; the FlatMap slots move on
+  // rehash, so the results are boxed and the boxed pointee must stay put.
+  // Take references early (small table), force growth with every other
+  // subset from many threads, then verify the early references still read
+  // the same results.
+  CacheFixture f;
+  const auto subsets = f.Subsets();
+  MatchOptions options;
+  options.theta = 0.6;
+  MatchQualityQef qef(*f.matcher_, options, {}, MediatedSchema());
+
+  const size_t kEarly = 6;
+  std::vector<const MatchResult*> early_refs;
+  std::vector<double> early_quality;
+  std::vector<size_t> early_ga_count;
+  for (size_t k = 0; k < kEarly; ++k) {
+    const MatchResult& r = qef.MatchFor(subsets[k]);
+    early_refs.push_back(&r);
+    early_quality.push_back(r.quality);
+    early_ga_count.push_back(r.ga_quality.size());
+  }
+
+  ThreadPool pool(8);
+  pool.ParallelFor(subsets.size() * 4, [&](size_t k) {
+    (void)qef.MatchFor(subsets[k % subsets.size()]);
+  });
+  // The memo key is an order-independent set fingerprint, so Subsets()
+  // entries that are permutations of each other share one cache entry.
+  std::set<std::vector<uint32_t>> distinct;
+  for (std::vector<uint32_t> s : subsets) {
+    std::sort(s.begin(), s.end());
+    distinct.insert(std::move(s));
+  }
+  ASSERT_EQ(qef.cache_size(), distinct.size());
+
+  for (size_t k = 0; k < kEarly; ++k) {
+    // Same object, same contents — and identical to a fresh lookup.
+    EXPECT_EQ(early_refs[k]->quality, early_quality[k]) << k;
+    EXPECT_EQ(early_refs[k]->ga_quality.size(), early_ga_count[k]) << k;
+    EXPECT_EQ(&qef.MatchFor(subsets[k]), early_refs[k]) << k;
   }
 }
 

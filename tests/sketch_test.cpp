@@ -3,13 +3,16 @@
 // oracle, and the signature cache.
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "schema/universe.h"
 #include "sketch/exact_counter.h"
 #include "sketch/pcsa.h"
 #include "sketch/signature_cache.h"
+#include "sketch/simd.h"
 
 namespace mube {
 namespace {
@@ -212,6 +215,269 @@ TEST(PcsaVsExactTest, AgreesWithinPaperTolerance) {
   EXPECT_LT(std::abs(estimate - truth) / truth, 0.15);
 }
 
+// ------------------------------------------------------------ simd kernels --
+//
+// The production kernels in sketch/simd.h must be bit-identical to their
+// reference-scalar twins for every input — including misaligned pointers,
+// tail lengths that don't fill a 256-bit block, and the countr_one edge
+// words (all-zero, all-ones). The sweeps below exercise each dispatch path
+// the binary actually has (AVX2 or unrolled-scalar) against simd::ref.
+
+// Words with varied trailing-ones runs: mixes of random bits, all-ones,
+// all-zeros, and long low-bit runs (the patterns PCSA bitmaps take).
+std::vector<uint64_t> KernelWords(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> words(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.Uniform(5)) {
+      case 0: words[i] = 0; break;
+      case 1: words[i] = ~uint64_t{0}; break;
+      case 2: words[i] = (uint64_t{1} << rng.Uniform(64)) - 1; break;  // 0..63 ones
+      case 3: words[i] = rng.Next() | 1; break;
+      default: words[i] = rng.Next() & rng.Next(); break;
+    }
+  }
+  return words;
+}
+
+// Lengths around every unroll boundary: empty, sub-block, block edges, and
+// the num_maps values real configs use (2 minimum, 2048 default, 4096).
+const size_t kKernelLengths[] = {0, 1,  2,  3,   4,   5,   7,    8,
+                                 15, 16, 17, 31, 32,  33,  63,   64,
+                                 65, 127, 128, 129, 2048, 4096};
+
+TEST(SimdKernelTest, OrIntoMatchesReferenceAcrossLengthsAndOffsets) {
+  for (size_t n : kKernelLengths) {
+    for (size_t offset = 0; offset < 3; ++offset) {
+      std::vector<uint64_t> src = KernelWords(n + offset, 101 + n);
+      std::vector<uint64_t> dst_ref = KernelWords(n + offset, 202 + n);
+      std::vector<uint64_t> dst_opt = dst_ref;
+      simd::ref::OrInto(dst_ref.data() + offset, src.data() + offset, n);
+      simd::OrInto(dst_opt.data() + offset, src.data() + offset, n);
+      EXPECT_EQ(dst_ref, dst_opt) << "n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST(SimdKernelTest, TrailingOnesSumMatchesReference) {
+  for (size_t n : kKernelLengths) {
+    for (size_t offset = 0; offset < 3; ++offset) {
+      std::vector<uint64_t> words = KernelWords(n + offset, 303 + n);
+      EXPECT_EQ(simd::ref::TrailingOnesSum(words.data() + offset, n),
+                simd::TrailingOnesSum(words.data() + offset, n))
+          << "n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST(SimdKernelTest, TrailingOnesSumCountsAllOnesWordAs64) {
+  // countr_one(all-ones) = 64: the case the vectorized
+  // popcount((~x−1) & x) identity must get right (popcount(x^(x+1))−1,
+  // the tempting shortcut, yields 63 here).
+  std::vector<uint64_t> words(17, ~uint64_t{0});
+  EXPECT_EQ(simd::TrailingOnesSum(words.data(), words.size()), 17u * 64u);
+  EXPECT_EQ(simd::ref::TrailingOnesSum(words.data(), words.size()),
+            17u * 64u);
+}
+
+TEST(SimdKernelTest, AllZeroMatchesReference) {
+  for (size_t n : kKernelLengths) {
+    std::vector<uint64_t> zeros(n, 0);
+    EXPECT_EQ(simd::AllZero(zeros.data(), n),
+              simd::ref::AllZero(zeros.data(), n));
+    if (n == 0) continue;
+    for (size_t hot : {size_t{0}, n / 2, n - 1}) {
+      std::vector<uint64_t> words(n, 0);
+      words[hot] = 1;
+      EXPECT_EQ(simd::AllZero(words.data(), n),
+                simd::ref::AllZero(words.data(), n))
+          << "n=" << n << " hot=" << hot;
+      EXPECT_FALSE(simd::AllZero(words.data(), n));
+    }
+  }
+}
+
+TEST(SimdKernelTest, AndPopcountMatchesReference) {
+  for (size_t n : kKernelLengths) {
+    for (size_t offset = 0; offset < 3; ++offset) {
+      std::vector<uint64_t> a = KernelWords(n + offset, 404 + n);
+      std::vector<uint64_t> b = KernelWords(n + offset, 505 + n);
+      EXPECT_EQ(
+          simd::ref::AndPopcount(a.data() + offset, b.data() + offset, n),
+          simd::AndPopcount(a.data() + offset, b.data() + offset, n))
+          << "n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST(SimdKernelTest, UnionTrailingOnesSumMatchesReferenceComposition) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{8}, size_t{17}, size_t{130},
+                   size_t{2048}, size_t{4096}}) {
+    for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{24}}) {
+      std::vector<std::vector<uint64_t>> srcs;
+      std::vector<const uint64_t*> ptrs;
+      for (size_t s = 0; s < k; ++s) {
+        srcs.push_back(KernelWords(n, 606 + n * 31 + s));
+        ptrs.push_back(srcs.back().data());
+      }
+      std::vector<uint64_t> merged(n, 0);
+      for (size_t s = 0; s < k; ++s) {
+        simd::ref::OrInto(merged.data(), ptrs[s], n);
+      }
+      EXPECT_EQ(simd::ref::TrailingOnesSum(merged.data(), n),
+                simd::UnionTrailingOnesSum(ptrs.data(), k, n))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(SimdKernelTest, UnionTrailingOnesSumBatchMatchesPerSubsetCalls) {
+  const size_t n = 2048;
+  std::vector<std::vector<uint64_t>> pool;
+  for (size_t s = 0; s < 10; ++s) pool.push_back(KernelWords(n, 707 + s));
+  Rng rng(808);
+  std::vector<std::vector<const uint64_t*>> subsets(13);
+  std::vector<const uint64_t* const*> heads;
+  std::vector<size_t> sizes;
+  for (std::vector<const uint64_t*>& subset : subsets) {
+    const size_t k = 1 + rng.Uniform(6);
+    for (size_t s = 0; s < k; ++s) {
+      subset.push_back(pool[rng.Uniform(pool.size())].data());
+    }
+    heads.push_back(subset.data());
+    sizes.push_back(subset.size());
+  }
+  std::vector<uint64_t> sums(subsets.size());
+  simd::UnionTrailingOnesSumBatch(heads.data(), sizes.data(), subsets.size(),
+                                  n, sums.data());
+  for (size_t t = 0; t < subsets.size(); ++t) {
+    EXPECT_EQ(sums[t],
+              simd::UnionTrailingOnesSum(heads[t], sizes[t], n))
+        << "subset " << t;
+  }
+}
+
+// ------------------------------------------------- fused union/estimate ----
+
+PcsaSketch SeededSketch(const PcsaConfig& config, uint64_t seed,
+                        uint64_t items) {
+  PcsaSketch sketch(config);
+  std::vector<uint64_t> values;
+  values.reserve(items);
+  for (uint64_t i = 0; i < items; ++i) {
+    values.push_back(i * 0x9e3779b97f4a7c15ULL + seed);
+  }
+  sketch.AddAll(values);
+  return sketch;
+}
+
+TEST(PcsaSketchTest, AddAllMatchesAddLoop) {
+  PcsaSketch one_by_one, batched;
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < 20'000; ++i) {
+    items.push_back(i * 0x9e3779b97f4a7c15ULL + 7);
+  }
+  for (uint64_t item : items) one_by_one.Add(item);
+  batched.AddAll(items);
+  EXPECT_EQ(one_by_one.bitmaps(), batched.bitmaps());
+}
+
+TEST(PcsaSketchTest, MergeFromManyMatchesSequentialMerges) {
+  for (uint32_t num_maps : {2u, 8u, 2048u, 4096u}) {
+    PcsaConfig config;
+    config.num_maps = num_maps;
+    std::vector<PcsaSketch> others;
+    std::vector<const PcsaSketch*> ptrs;
+    for (uint64_t s = 0; s < 5; ++s) {
+      others.push_back(SeededSketch(config, s * 1000, 3000));
+    }
+    for (const PcsaSketch& other : others) ptrs.push_back(&other);
+
+    PcsaSketch sequential = SeededSketch(config, 99, 1000);
+    PcsaSketch fused = sequential;
+    for (const PcsaSketch& other : others) {
+      ASSERT_TRUE(sequential.MergeFrom(other).ok());
+    }
+    ASSERT_TRUE(fused.MergeFromMany(ptrs).ok());
+    EXPECT_EQ(sequential.bitmaps(), fused.bitmaps()) << num_maps << " maps";
+  }
+}
+
+TEST(PcsaSketchTest, MergeFromManyMismatchLeavesSketchUnchanged) {
+  PcsaConfig config;
+  PcsaConfig other_config;
+  other_config.num_maps = 128;
+  PcsaSketch target = SeededSketch(config, 1, 2000);
+  const std::vector<uint64_t> before = target.bitmaps();
+  PcsaSketch good(config), bad(other_config);
+  const std::vector<const PcsaSketch*> mixed = {&good, &bad};
+  EXPECT_FALSE(target.MergeFromMany(mixed).ok());
+  EXPECT_EQ(target.bitmaps(), before);
+}
+
+TEST(PcsaSketchTest, UnionEstimateMatchesMergeThenEstimate) {
+  for (uint32_t num_maps : {2u, 8u, 2048u, 4096u}) {
+    PcsaConfig config;
+    config.num_maps = num_maps;
+    std::vector<PcsaSketch> sketches;
+    std::vector<const PcsaSketch*> ptrs;
+    for (uint64_t s = 0; s < 6; ++s) {
+      sketches.push_back(SeededSketch(config, s * 7919, 5000));
+    }
+    // One corrupted signature in the mix: the fused estimate must agree on
+    // adversarial bit patterns too, not just well-formed ones.
+    sketches.push_back(sketches.front().CorruptedCopy(42));
+    for (const PcsaSketch& sketch : sketches) ptrs.push_back(&sketch);
+
+    PcsaSketch merged(config);
+    ASSERT_TRUE(merged.MergeFromMany(ptrs).ok());
+    const double via_merge = merged.IsEmpty() ? 0.0 : merged.Estimate();
+    const double fused = PcsaSketch::UnionEstimate(ptrs);
+    EXPECT_EQ(std::memcmp(&via_merge, &fused, sizeof(double)), 0)
+        << num_maps << " maps: " << via_merge << " vs " << fused;
+  }
+}
+
+TEST(PcsaSketchTest, UnionEstimateOfEmptySketchesIsExactlyZero) {
+  PcsaSketch a, b;
+  const std::vector<const PcsaSketch*> ptrs = {&a, &b};
+  EXPECT_EQ(PcsaSketch::UnionEstimate(ptrs), 0.0);
+  EXPECT_EQ(PcsaSketch::UnionEstimate({}), 0.0);
+}
+
+TEST(PcsaSketchTest, UnionEstimateBatchMatchesPerSubsetUnionEstimate) {
+  PcsaConfig config;
+  std::vector<PcsaSketch> pool;
+  for (uint64_t s = 0; s < 8; ++s) {
+    pool.push_back(SeededSketch(config, s * 131, 4000));
+  }
+  Rng rng(909);
+  std::vector<std::vector<const PcsaSketch*>> subsets(9);
+  for (size_t t = 0; t + 1 < subsets.size(); ++t) {
+    const size_t k = 1 + rng.Uniform(5);
+    for (size_t s = 0; s < k; ++s) {
+      subsets[t].push_back(&pool[rng.Uniform(pool.size())]);
+    }
+  }
+  // Last subset left empty: must come back exactly 0.0, like UnionEstimate
+  // on an empty span.
+  std::vector<double> batch(subsets.size(), -1.0);
+  PcsaSketch::UnionEstimateBatch(subsets, batch);
+  for (size_t t = 0; t < subsets.size(); ++t) {
+    const double single = PcsaSketch::UnionEstimate(subsets[t]);
+    EXPECT_EQ(std::memcmp(&batch[t], &single, sizeof(double)), 0)
+        << "subset " << t;
+  }
+  EXPECT_EQ(batch.back(), 0.0);
+}
+
+TEST(PcsaSketchTest, UnionEstimateBatchAllEmptySubsets) {
+  std::vector<std::vector<const PcsaSketch*>> subsets(3);
+  std::vector<double> out(3, -1.0);
+  PcsaSketch::UnionEstimateBatch(subsets, out);
+  for (double estimate : out) EXPECT_EQ(estimate, 0.0);
+}
+
 // --------------------------------------------------------- SignatureCache --
 
 Universe CacheUniverse() {
@@ -291,6 +557,53 @@ TEST(SignatureCacheTest, UniverseUnionCoversEverything) {
   SignatureCache cache(u, PcsaConfig());
   EXPECT_NEAR(cache.EstimateUniverseUnion(), cache.EstimateUnion({0, 1}),
               1e-9);
+}
+
+TEST(SignatureCacheTest, UnionSketchMatchesSequentialMerge) {
+  Universe u = CacheUniverse();
+  SignatureCache cache(u, PcsaConfig());
+  PcsaSketch sequential{PcsaConfig()};
+  ASSERT_TRUE(sequential.MergeFrom(*cache.SketchOf(0)).ok());
+  ASSERT_TRUE(sequential.MergeFrom(*cache.SketchOf(1)).ok());
+  // Uncooperative source 2 contributes nothing either way.
+  const PcsaSketch merged = cache.UnionSketch({0, 1, 2});
+  EXPECT_EQ(merged.bitmaps(), sequential.bitmaps());
+}
+
+TEST(SignatureCacheTest, EstimateUnionSurvivesMemoChurn) {
+  // Evict-and-reinsert churn through the flat-map memo: drive far more
+  // distinct subsets than the memo capacity, then confirm re-queried
+  // subsets still return the identical doubles after their entries were
+  // evicted and recomputed.
+  Universe u;
+  PcsaConfig config;
+  config.num_maps = 64;
+  for (uint32_t id = 0; id < 12; ++id) {
+    Source s(0, "s" + std::to_string(id));
+    s.AddAttribute(Attribute("x"));
+    std::vector<uint64_t> tuples;
+    for (uint64_t i = 0; i < 500; ++i) tuples.push_back(id * 400 + i);
+    s.SetTuples(std::move(tuples));
+    u.AddSource(std::move(s));
+  }
+  SignatureCache cache(u, config);
+  cache.set_memo_capacity(16);
+  std::vector<std::vector<uint32_t>> probes;
+  for (uint32_t a = 0; a < 12; ++a) {
+    for (uint32_t b = a; b < 12; ++b) probes.push_back({a, b});
+  }
+  std::vector<double> first;
+  for (const std::vector<uint32_t>& probe : probes) {
+    first.push_back(cache.EstimateUnion(probe));
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (size_t p = 0; p < probes.size(); ++p) {
+      EXPECT_DOUBLE_EQ(cache.EstimateUnion(probes[p]), first[p]);
+    }
+  }
+  const SignatureCache::MemoStats stats = cache.memo_stats();
+  EXPECT_GT(stats.evictions, 0u);  // 78 distinct subsets vs capacity 16
+  EXPECT_GT(stats.misses, 0u);
 }
 
 TEST(SignatureCacheTest, SignatureMemoryIsSmall) {

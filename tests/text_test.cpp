@@ -1,6 +1,7 @@
 // Tests for src/text: n-gram extraction, all similarity measures (unit and
 // property-based), and the precomputed similarity matrix.
 
+#include <algorithm>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -357,6 +358,190 @@ TEST(SimilarityMatrixTest, ParallelBuildBitIdentical) {
       ASSERT_EQ(serial.At(i, j), parallel4.At(i, j)) << i << "," << j;
       ASSERT_EQ(serial.At(i, j), parallel_auto.At(i, j)) << i << "," << j;
     }
+  }
+}
+
+// Sorted, deduplicated code vector with `size` elements drawn from
+// [0, universe) — the shape NGramSet produces, but with controllable skew.
+std::vector<uint64_t> RandomCodeSet(Rng& rng, size_t size, uint64_t universe) {
+  std::vector<uint64_t> codes;
+  codes.reserve(size);
+  while (codes.size() < size) {
+    const uint64_t c = rng.Uniform(universe);
+    codes.push_back(c);
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  }
+  return codes;
+}
+
+TEST(IntersectionKernelTest, GallopingMatchesLinearRandomized) {
+  // Differential test across the size skews that flip the dispatch in
+  // SortedIntersectionSize both ways, including the |small|*32 == |large|
+  // boundary itself.
+  Rng rng(1234);
+  const struct {
+    size_t na, nb;
+  } kShapes[] = {{0, 0},  {0, 50},  {1, 1},    {1, 33},   {2, 64},
+                 {2, 63}, {3, 96},  {10, 320}, {10, 319}, {10, 321},
+                 {40, 45}, {128, 4096}};
+  for (const auto& shape : kShapes) {
+    for (int round = 0; round < 8; ++round) {
+      // Mix dense universes (many collisions) with sparse ones (few).
+      const uint64_t universe = (round % 2 == 0) ? 8 * (shape.nb + 4) : 1u << 20;
+      const std::vector<uint64_t> a = RandomCodeSet(rng, shape.na, universe);
+      const std::vector<uint64_t> b = RandomCodeSet(rng, shape.nb, universe);
+      const size_t linear = LinearIntersectionSize(a, b);
+      ASSERT_EQ(GallopingIntersectionSize(a, b), linear)
+          << "na=" << shape.na << " nb=" << shape.nb << " round=" << round;
+      ASSERT_EQ(GallopingIntersectionSize(b, a), linear);
+      ASSERT_EQ(SortedIntersectionSize(a, b), linear);
+      ASSERT_EQ(SortedIntersectionSize(b, a), linear);
+    }
+  }
+}
+
+TEST(IntersectionKernelTest, GallopingHandlesAdversarialLayouts) {
+  // All of small before / after / interleaved with large, and subset runs —
+  // the layouts where doubling-step bounds are most likely to be off by one.
+  std::vector<uint64_t> large;
+  for (uint64_t i = 0; i < 200; ++i) large.push_back(100 + 2 * i);
+  const std::vector<uint64_t> before = {1, 2, 3};
+  const std::vector<uint64_t> after = {10'000, 10'001};
+  const std::vector<uint64_t> ends = {100, 100 + 2 * 199};
+  const std::vector<uint64_t> odds = {101, 103, 105};  // between elements
+  const std::vector<uint64_t> run = {100, 102, 104, 106};
+  for (const auto& small : {before, after, ends, odds, run}) {
+    EXPECT_EQ(GallopingIntersectionSize(small, large),
+              LinearIntersectionSize(small, large));
+  }
+}
+
+TEST(GramBitsetsTest, IntersectionMatchesSortedMerge) {
+  const std::vector<std::string> names = {
+      "title",  "titles", "book title", "author",   "author name",
+      "keyword", "keywords", "price",   "isbn",     "publication year",
+      "id",      "x",       "",         "format",   "formatting"};
+  std::vector<std::vector<uint64_t>> sets;
+  for (const std::string& name : names) sets.push_back(TriGramSet(name));
+  GramBitsets bitsets(sets);
+  ASSERT_TRUE(bitsets.usable());
+  ASSERT_EQ(bitsets.size(), sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t j = 0; j < sets.size(); ++j) {
+      ASSERT_EQ(bitsets.IntersectionSize(i, j),
+                SortedIntersectionSize(sets[i], sets[j]))
+          << names[i] << " vs " << names[j];
+    }
+  }
+}
+
+TEST(GramBitsetsTest, RandomCorpusMatchesSortedMerge) {
+  Rng rng(777);
+  std::vector<std::vector<uint64_t>> sets;
+  for (int i = 0; i < 40; ++i) {
+    sets.push_back(RandomCodeSet(rng, 1 + rng.Uniform(30), 500));
+  }
+  sets.push_back({});  // empty set row
+  GramBitsets bitsets(sets);
+  ASSERT_TRUE(bitsets.usable());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t j = i; j < sets.size(); ++j) {
+      ASSERT_EQ(bitsets.IntersectionSize(i, j),
+                SortedIntersectionSize(sets[i], sets[j]))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(GramBitsetsTest, OverWideCorpusIsUnusable) {
+  // More distinct grams than max_words * 64 allows -> callers must stay on
+  // the sorted-vector path.
+  std::vector<std::vector<uint64_t>> sets;
+  std::vector<uint64_t> wide;
+  for (uint64_t i = 0; i < 200; ++i) wide.push_back(i);
+  sets.push_back(wide);
+  GramBitsets bitsets(sets, /*max_words=*/2);  // 128 bits < 200 grams
+  EXPECT_FALSE(bitsets.usable());
+  EXPECT_EQ(bitsets.words(), 0u);
+}
+
+TEST(SetCountFastPathTest, CountsAgreeWithTokensBitwise) {
+  // The SupportsSetCounts contract: SimilarityFromTokens(a, b) ==
+  // SimilarityFromCounts(|a ∩ b|, |a|, |b|) bit for bit. This is what lets
+  // the similarity matrix swap the sorted merge for bitset popcounts.
+  Rng rng(4242);
+  NGramJaccard jaccard(3);
+  NGramDice dice(3);
+  const std::vector<std::string> names = {
+      "title", "titles", "book title", "author", "keyword", "keywords",
+      "price", "isbn",   "year",       "format", "id",      ""};
+  for (const SimilarityMeasure* measure :
+       {static_cast<const SimilarityMeasure*>(&jaccard),
+        static_cast<const SimilarityMeasure*>(&dice)}) {
+    ASSERT_TRUE(measure->SupportsSetCounts());
+    for (const std::string& a : names) {
+      for (const std::string& b : names) {
+        const std::vector<uint64_t> ta = measure->PrepareTokens(a);
+        const std::vector<uint64_t> tb = measure->PrepareTokens(b);
+        const double from_tokens = measure->SimilarityFromTokens(ta, tb);
+        const double from_counts = measure->SimilarityFromCounts(
+            SortedIntersectionSize(ta, tb), ta.size(), tb.size());
+        ASSERT_EQ(from_tokens, from_counts)
+            << measure->name() << ": '" << a << "' vs '" << b << "'";
+      }
+    }
+    // And on synthetic skewed sets that exercise the galloping dispatch.
+    for (int round = 0; round < 20; ++round) {
+      const std::vector<uint64_t> ta = RandomCodeSet(rng, 3, 1u << 16);
+      const std::vector<uint64_t> tb = RandomCodeSet(rng, 200, 1u << 16);
+      ASSERT_EQ(measure->SimilarityFromTokens(ta, tb),
+                measure->SimilarityFromCounts(
+                    SortedIntersectionSize(ta, tb), ta.size(), tb.size()));
+    }
+  }
+}
+
+TEST(SimilarityMatrixTest, BitsetPathBitIdenticalToDirectMeasure) {
+  // A corpus big enough that the matrix build takes the registered-gram
+  // bitset path; every entry must still equal the measure evaluated
+  // directly on the attribute names (float-cast, as the matrix stores
+  // floats).
+  Universe u;
+  Rng rng(31);
+  const std::vector<std::string> pool = {
+      "title",  "titles",   "book title", "author", "author name",
+      "keyword", "keywords", "price",     "isbn",   "publication year",
+      "year",    "format",   "language",  "pages",  "publisher"};
+  for (int i = 0; i < 25; ++i) {
+    Source s(0, "src" + std::to_string(i));
+    for (size_t p : rng.SampleWithoutReplacement(pool.size(), 4)) {
+      s.AddAttribute(Attribute(pool[p]));
+    }
+    u.AddSource(std::move(s));
+  }
+  for (const char* name : {"jaccard3", "dice3"}) {
+    auto measure = MakeSimilarityMeasure(name);
+    ASSERT_TRUE(measure.ok());
+    SimilarityMatrix matrix(u, *measure.ValueOrDie());
+    size_t checked = 0;
+    for (uint32_t si = 0; si < u.size(); ++si) {
+      for (uint32_t sj = si + 1; sj < u.size(); ++sj) {
+        const Source& a = u.source(si);
+        const Source& b = u.source(sj);
+        for (uint32_t ai = 0; ai < a.attributes().size(); ++ai) {
+          for (uint32_t bj = 0; bj < b.attributes().size(); ++bj) {
+            const double direct = measure.ValueOrDie()->Similarity(
+                a.attributes()[ai].normalized, b.attributes()[bj].normalized);
+            ASSERT_EQ(matrix.At(u.GlobalAttrIndex(AttributeRef{si, ai}),
+                                u.GlobalAttrIndex(AttributeRef{sj, bj})),
+                      static_cast<double>(static_cast<float>(direct)));
+            ++checked;
+          }
+        }
+      }
+    }
+    EXPECT_GT(checked, 1000u);
   }
 }
 

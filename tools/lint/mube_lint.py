@@ -46,7 +46,9 @@ det-iteration     Iterating (range-for) or folding (std::accumulate &
                   det::SortedKeys / det::SortedItems / det::SortedValues
                   (src/common/det.h), or justify with
                   NOLINT(det-iteration) when the fold is provably
-                  order-insensitive.
+                  order-insensitive. FlatMap (common/flat_map.h) iterates
+                  in slot order — a function of insertion history — so
+                  .ForEach( on a FlatMap member gets the same treatment.
 det-pointer-order Ordering by raw pointer value (pointer-keyed std::map/
                   std::set, std::less<T*>, reinterpret_cast to uintptr_t)
                   depends on the allocator's address layout and differs run
@@ -538,6 +540,7 @@ class IncludeOrderRule(Analyzer):
 # --- determinism rules -----------------------------------------------------
 
 _UNORDERED_DECL_RE = re.compile(r"\bunordered_(map|set)\s*<")
+_FLAT_MAP_DECL_RE = re.compile(r"\bFlatMap\s*<")
 _RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
 _FOLD_RE = re.compile(
     r"\bstd::(accumulate|copy|for_each|transform|partial_sum|reduce)\s*\(")
@@ -580,6 +583,7 @@ class DetIterationRule(Analyzer):
         alias_decl_re = (re.compile(
             r"\b(" + "|".join(sorted(aliases)) + r")\s*[&*]?\s+(\w+)")
             if aliases else None)
+        flatmaps = set()
         for line in text_lines:
             for m in _UNORDERED_DECL_RE.finditer(line):
                 after = _skip_angles(line, m.end() - 1)
@@ -587,11 +591,17 @@ class DetIterationRule(Analyzer):
                 dm = re.match(r"\s*[&*]?\s*(\w+)", tail)
                 if dm and dm.group(1) not in ("const", "public", "private"):
                     unordered.add(dm.group(1))
+            for m in _FLAT_MAP_DECL_RE.finditer(line):
+                after = _skip_angles(line, m.end() - 1)
+                tail = line[after:]
+                dm = re.match(r"\s*[&*]?\s*(\w+)", tail)
+                if dm and dm.group(1) not in ("const", "public", "private"):
+                    flatmaps.add(dm.group(1))
             if alias_decl_re:
                 for m in alias_decl_re.finditer(line):
                     if m.group(2) not in ("const",):
                         unordered.add(m.group(2))
-        if not unordered:
+        if not unordered and not flatmaps:
             return
         # Pass 2: range-for over an unordered name, or an order-sensitive
         # <algorithm>/<numeric> fold over its iterators.
@@ -613,6 +623,18 @@ class DetIterationRule(Analyzer):
                              "(src/common/det.h) or justify with "
                              "NOLINT(det-iteration)")
                     break
+            if flatmaps:
+                for m in re.finditer(r"\b(\w+)\s*(?:\.|->)\s*ForEach\s*\(",
+                                     line):
+                    if m.group(1) in flatmaps:
+                        self.add(sf, idx,
+                                 f"slot-order iteration over FlatMap "
+                                 f"'{m.group(1)}': slot order depends on "
+                                 "insertion history — sort the collected "
+                                 "items (det::, common/det.h) before any "
+                                 "ordered output, or justify with "
+                                 "NOLINT(det-iteration)")
+                        break
             if _FOLD_RE.search(line):
                 fold_stmt = sf.statement_at(idx, lookback=0)
                 if line.count("(") > line.count(")"):

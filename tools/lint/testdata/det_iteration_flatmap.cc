@@ -1,0 +1,52 @@
+// LINT-PATH: src/lintfix/det_iteration_flatmap.cc
+// Fixture: det-iteration over FlatMap — .ForEach( iterates in slot order,
+// a function of insertion history, so it gets the same treatment as
+// range-for over std::unordered_map: route the collected items through a
+// sort or justify the call as order-insensitive.
+#include "common/flat_map.h"
+#include "common/thread_annotations.h"
+#include "common/threading.h"
+
+namespace mube {
+
+struct Entry {
+  double estimate = 0.0;
+};
+
+class MemoShard {
+ public:
+  double Sum() const;
+  void Dump() const;
+
+ private:
+  mutable Mutex mu_;
+  FlatMap<Entry> memo_ GUARDED_BY(mu_);
+  FlatMap<double>* spill_ GUARDED_BY(mu_) = nullptr;
+};
+
+double MemoShard::Sum() const {
+  MutexLock lock(&mu_);
+  double total = 0.0;
+  memo_.ForEach([&](uint64_t, const Entry& e) {  // LINT-EXPECT: det-iteration
+    total += e.estimate;
+  });
+  spill_->ForEach([&](uint64_t, double v) {  // LINT-EXPECT: det-iteration
+    total += v;
+  });
+  return total;
+}
+
+void MemoShard::Dump() const {
+  MutexLock lock(&mu_);
+  // Justified: entries land in a container that is sorted before output.
+  memo_.ForEach([&](uint64_t key, const Entry& e) {  // NOLINT(det-iteration)
+    (void)key;
+    (void)e;
+  });
+  // Point operations never observe slot order.
+  if (memo_.Find(7) != nullptr) {
+    (void)memo_.size();
+  }
+}
+
+}  // namespace mube
