@@ -19,6 +19,7 @@
 #include "match/matcher.h"
 #include "match/naive_matcher.h"
 #include "qef/data_qefs.h"
+#include "text/similarity_matrix.h"
 
 using namespace mube;        // NOLINT
 using namespace mube::bench; // NOLINT

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "opt/optimizer.h"
 #include "sketch/pcsa.h"
+#include "text/sparse_similarity.h"
 
 /// \file config.h
 /// Top-level configuration of a µBE engine: which QEFs participate with
@@ -58,6 +59,24 @@ struct MubeConfig {
   /// Worker threads for the one-off similarity-matrix build: 0 = hardware
   /// concurrency, 1 = single-threaded. Bit-identical results either way.
   unsigned similarity_threads = 0;
+  /// Which SimilaritySource implementation backs the Matcher:
+  ///  - "auto" (default): the sparse blocked index once the universe holds
+  ///    ≥ sparse_attr_threshold attributes AND the measure supports
+  ///    prepared tokens; the dense matrix otherwise. tfidf_cosine (and any
+  ///    other measure without prepared tokens) always stays dense.
+  ///  - "dense": always the O(|A|²) SimilarityMatrix.
+  ///  - "sparse": always the SparseSimilarityIndex; Create() rejects the
+  ///    combination with a measure lacking prepared-token support.
+  std::string similarity_index = "auto";
+  /// Attribute count at which "auto" switches to the sparse index. Below
+  /// it the dense matrix is small (≤ ~32 MB) and exact at any θ; above it
+  /// the quadratic build starts to dominate engine construction.
+  size_t sparse_attr_threshold = 4096;
+  /// Sparse-index tuning (θ_index, LSH geometry, pruning caps) when the
+  /// sparse implementation is selected. Note sparse_options.index_theta
+  /// must be ≤ every matcher θ the engine will run, or Match() rejects
+  /// the run (see SimilaritySource::neighbor_floor).
+  SparseIndexOptions sparse_options;
   /// PCSA signature shape shared by all sources.
   PcsaConfig pcsa;
   /// Optional interceptor of the engine's signature fetch path: every

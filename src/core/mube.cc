@@ -10,6 +10,8 @@
 #include "qef/data_qefs.h"
 #include "qef/health_qef.h"
 #include "qef/match_qef.h"
+#include "text/similarity_matrix.h"
+#include "text/sparse_similarity.h"
 
 namespace mube {
 
@@ -31,8 +33,37 @@ Result<std::unique_ptr<Mube>> Mube::Create(const Universe* universe,
     MUBE_ASSIGN_OR_RETURN(
         mube->measure_, MakeSimilarityMeasure(mube->config_.similarity_measure));
   }
-  mube->similarity_ = std::make_unique<SimilarityMatrix>(
-      *universe, *mube->measure_, mube->config_.similarity_threads);
+  // Select the similarity store. The dense matrix is exact at any θ but
+  // O(|A|²); the sparse blocked index scales to internet-size universes
+  // but needs a token-set measure and bounds Match's θ from below (see
+  // SimilaritySource::neighbor_floor).
+  const std::string& index_mode = mube->config_.similarity_index;
+  bool use_sparse = false;
+  if (index_mode == "sparse") {
+    if (!mube->measure_->SupportsPreparedTokens()) {
+      return Status::InvalidArgument(
+          "similarity_index=sparse requires a measure with prepared-token "
+          "support (3-gram Jaccard/Dice); '" +
+          mube->config_.similarity_measure + "' has none");
+    }
+    use_sparse = true;
+  } else if (index_mode == "auto") {
+    use_sparse = mube->measure_->SupportsPreparedTokens() &&
+                 universe->total_attribute_count() >=
+                     mube->config_.sparse_attr_threshold;
+  } else if (index_mode != "dense") {
+    return Status::InvalidArgument(
+        "similarity_index must be auto|dense|sparse, got '" + index_mode +
+        "'");
+  }
+  if (use_sparse) {
+    mube->similarity_ = std::make_unique<SparseSimilarityIndex>(
+        *universe, *mube->measure_, mube->config_.sparse_options,
+        mube->config_.similarity_threads);
+  } else {
+    mube->similarity_ = std::make_unique<SimilarityMatrix>(
+        *universe, *mube->measure_, mube->config_.similarity_threads);
+  }
   mube->signatures_ = std::make_unique<SignatureCache>(
       *universe, mube->config_.pcsa, mube->config_.signature_fetch_hook);
   mube->matcher_ = std::make_unique<Matcher>(*universe, *mube->similarity_);
@@ -53,10 +84,18 @@ Result<std::unique_ptr<Mube>> Mube::Fork(const Universe* universe) const {
     MUBE_ASSIGN_OR_RETURN(fork->measure_,
                           MakeSimilarityMeasure(config_.similarity_measure));
   }
-  // The expensive derived state is copied, not recomputed: the matrix is a
-  // flat float triangle, the signature cache deep-copies its sketches. This
-  // is what makes epoch forking affordable at serving rates.
-  fork->similarity_ = std::make_unique<SimilarityMatrix>(*similarity_);
+  // The expensive derived state is copied, not recomputed: the similarity
+  // store is flat buffers either way (dense triangle or sparse CSR), the
+  // signature cache deep-copies its sketches. This is what makes epoch
+  // forking affordable at serving rates.
+  fork->similarity_ = similarity_->CloneSource();
+  // A sparse clone's exact-At fallback still points at the parent's
+  // measure, whose owner may be reclaimed before the fork; rebind it to
+  // the fork's own (behaviorally identical) measure.
+  if (auto* sparse =
+          dynamic_cast<SparseSimilarityIndex*>(fork->similarity_.get())) {
+    sparse->set_measure(fork->measure_.get());
+  }
   fork->signatures_ = signatures_->Clone();
   fork->matcher_ = std::make_unique<Matcher>(*universe, *fork->similarity_);
   if (metrics_registry_ != nullptr) {
@@ -97,6 +136,18 @@ void Mube::AttachMetrics(MetricsRegistry* registry,
   metrics_.measure_calls = registry->GetCounter(
       p + "_measure_calls_total",
       "pairwise similarity evaluations (build + churn maintenance)");
+  metrics_.candidate_pairs = registry->GetCounter(
+      p + "_similarity_candidate_pairs_total",
+      "pairs nominated by blocking and exactly verified (sparse index "
+      "builds + churn; 0 under the dense matrix)");
+  metrics_.pruned_pairs = registry->GetCounter(
+      p + "_similarity_pruned_pairs_total",
+      "comparable pairs skipped without scoring by gram/LSH blocking "
+      "(sparse index; 0 under the dense matrix)");
+  metrics_.index_memory_bytes = registry->GetGauge(
+      p + "_similarity_index_memory_bytes",
+      "resident bytes of the similarity store (dense triangle or sparse "
+      "postings+LSH+rows)");
   metrics_.churn_batches = registry->GetCounter(
       p + "_churn_batches_total", "churn deltas applied to derived state");
   metrics_.churn_delta_sources = registry->GetHistogram(
@@ -109,8 +160,22 @@ void Mube::AttachMetrics(MetricsRegistry* registry,
   // The initial similarity build already spent its measure calls; credit
   // them now so the counter reflects total work, not just churn deltas.
   metrics_.measure_calls->Increment(similarity_->last_measure_calls());
+  RecordIndexMetrics();
   MutexLock lock(&scrape_mu_);
   last_union_stats_ = signatures_->memo_stats();
+}
+
+void Mube::RecordIndexMetrics() const {
+  if (metrics_.index_memory_bytes == nullptr) return;
+  metrics_.index_memory_bytes->Set(
+      static_cast<double>(similarity_->MemoryBytes()));
+  // Blocking tallies only exist on the sparse index; its stats describe
+  // the last build/churn op, which is exactly what each call here follows.
+  const auto* sparse =
+      dynamic_cast<const SparseSimilarityIndex*>(similarity_.get());
+  if (sparse == nullptr) return;
+  metrics_.candidate_pairs->Increment(sparse->stats().candidate_pairs);
+  metrics_.pruned_pairs->Increment(sparse->stats().pruned_pairs);
 }
 
 void Mube::ScrapeUnionMemo() const {
@@ -302,6 +367,7 @@ Status Mube::ApplyDelta(const ChurnDelta& delta) {
     metrics_.churn_delta_sources->Observe(
         static_cast<double>(delta.DirtySchemaSources().size()));
     metrics_.measure_calls->Increment(similarity_->last_measure_calls());
+    RecordIndexMetrics();
     ScrapeUnionMemo();  // churn invalidations land in the registry promptly
   }
   return Status::OK();

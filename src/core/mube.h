@@ -17,14 +17,16 @@
 #include "schema/universe.h"
 #include "sketch/signature_cache.h"
 #include "text/similarity.h"
-#include "text/similarity_matrix.h"
+#include "text/similarity_source.h"
 
 /// \file mube.h
 /// The µBE engine (paper Figure 2): given a universe of source
 /// descriptions, repeatedly solve the user's constrained optimization
 /// problem. Construction performs the one-off heavy lifting — the pairwise
-/// similarity matrix and the per-source PCSA signature cache — after which
-/// each Run() (one µBE iteration) only clusters, sketccaches, and searches.
+/// similarity store (dense matrix or sparse blocked index, selected by
+/// MubeConfig::similarity_index) and the per-source PCSA signature cache —
+/// after which each Run() (one µBE iteration) only clusters, sketccaches,
+/// and searches.
 
 namespace mube {
 
@@ -125,9 +127,10 @@ class Mube {
   /// Forks the engine onto `universe`, which must hold content identical to
   /// this engine's universe at fork time (the serving layer clones the
   /// catalog first — see Universe::Clone). The fork copies the similarity
-  /// matrix and clones the signature cache instead of recomputing them, so
-  /// forking costs a memcpy of derived state rather than O(|A|²) similarity
-  /// calls or a re-scan of source data; the caller then applies churn to
+  /// store (dense matrix or sparse index, via CloneSource) and clones the
+  /// signature cache instead of recomputing them, so forking costs a
+  /// memcpy of derived state rather than a similarity (re)build
+  /// or a re-scan of source data; the caller then applies churn to
   /// the fork via ApplyDelta. The metrics registry attachment is shared.
   /// This is the copy-on-write step of the epoch snapshot manager.
   Result<std::unique_ptr<Mube>> Fork(const Universe* universe) const;
@@ -153,7 +156,7 @@ class Mube {
 
   const Universe& universe() const { return *universe_; }
   const MubeConfig& config() const { return config_; }
-  const SimilarityMatrix& similarity() const { return *similarity_; }
+  const SimilaritySource& similarity() const { return *similarity_; }
   const SignatureCache& signatures() const { return *signatures_; }
   const Matcher& matcher() const { return *matcher_; }
 
@@ -173,10 +176,18 @@ class Mube {
     Counter* union_memo_evictions = nullptr;
     Counter* union_memo_invalidations = nullptr;
     Counter* measure_calls = nullptr;
+    Counter* candidate_pairs = nullptr;
+    Counter* pruned_pairs = nullptr;
+    Gauge* index_memory_bytes = nullptr;
     Counter* churn_batches = nullptr;
     Histogram* churn_delta_sources = nullptr;
     Histogram* run_seconds = nullptr;
   };
+
+  /// Folds the sparse index's blocking tallies (candidate/pruned pairs from
+  /// the last build or churn op) and current footprint into the registry.
+  /// No-op when metrics are detached or the dense matrix is selected.
+  void RecordIndexMetrics() const;
 
   /// Folds the engine-cumulative union-memo counters into the registry as
   /// deltas since the previous scrape (Run may be called concurrently from
@@ -186,7 +197,7 @@ class Mube {
   const Universe* universe_;
   MubeConfig config_;
   std::unique_ptr<SimilarityMeasure> measure_;
-  std::unique_ptr<SimilarityMatrix> similarity_;
+  std::unique_ptr<SimilaritySource> similarity_;
   std::unique_ptr<SignatureCache> signatures_;
   std::unique_ptr<Matcher> matcher_;
 

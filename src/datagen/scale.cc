@@ -1,0 +1,137 @@
+#include "datagen/scale.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "schema/attribute.h"
+#include "schema/source.h"
+
+namespace mube {
+
+namespace {
+
+/// Domain-stream salt: every domain derives an independent RNG stream from
+/// (seed, domain), which is what makes the universe prefix-stable — domain
+/// d's vocabulary and sources never depend on how many domains follow it.
+constexpr uint64_t kDomainSalt = 0x5ca1eab1e0000000ULL;
+
+/// One concept's surface-name family: variant 0 is the base word, the rest
+/// append one extra letter each. All letters within a family are distinct,
+/// so the base word's 3-grams are pairwise distinct (every gram starts at a
+/// different letter) and each suffix gram is new. Two suffixed variants of
+/// an L-letter base then intersect in exactly the L−2 base grams out of an
+/// L-gram union: Jaccard (L−2)/L, ≥ 0.75 for L ≥ 8. Cross-family overlap
+/// is whatever random letters produce — far below θ in practice, and both
+/// the dense and sparse implementations score such pairs identically, so
+/// coincidences cannot break differential tests.
+std::vector<std::string> BuildFamily(Rng* rng, size_t word_len,
+                                     size_t variants) {
+  const std::vector<size_t> letters =
+      rng->SampleWithoutReplacement(26, word_len + variants - 1);
+  std::string base;
+  base.reserve(word_len);
+  for (size_t i = 0; i < word_len; ++i) {
+    base.push_back(static_cast<char>('a' + letters[i]));
+  }
+  std::vector<std::string> family;
+  family.reserve(variants);
+  family.push_back(base);
+  for (size_t v = 1; v < variants; ++v) {
+    family.push_back(base +
+                     static_cast<char>('a' + letters[word_len + v - 1]));
+  }
+  return family;
+}
+
+}  // namespace
+
+Status ScaleConfig::Validate() const {
+  if (num_sources == 0) {
+    return Status::InvalidArgument("num_sources must be >= 1");
+  }
+  if (sources_per_domain == 0) {
+    return Status::InvalidArgument("sources_per_domain must be >= 1");
+  }
+  if (concepts_per_domain == 0) {
+    return Status::InvalidArgument("concepts_per_domain must be >= 1");
+  }
+  if (variants_per_concept == 0) {
+    return Status::InvalidArgument("variants_per_concept must be >= 1");
+  }
+  if (min_attrs == 0 || min_attrs > max_attrs) {
+    return Status::InvalidArgument(
+        "need 1 <= min_attrs <= max_attrs");
+  }
+  if (base_word_min < 8 || base_word_min > base_word_max) {
+    return Status::InvalidArgument(
+        "need 8 <= base_word_min <= base_word_max (the within-family "
+        "Jaccard bound (L-2)/L >= 0.75 requires L >= 8)");
+  }
+  if (base_word_max + variants_per_concept - 1 > 26) {
+    return Status::InvalidArgument(
+        "base_word_max + variants_per_concept - 1 must be <= 26 (family "
+        "letters are drawn distinct from one alphabet)");
+  }
+  return Status::OK();
+}
+
+Result<ScaleUniverse> GenerateScaleUniverse(const ScaleConfig& config) {
+  MUBE_RETURN_IF_ERROR(config.Validate());
+
+  ScaleUniverse out;
+  out.num_domains = (config.num_sources + config.sources_per_domain - 1) /
+                    config.sources_per_domain;
+  out.num_concepts = out.num_domains * config.concepts_per_domain;
+
+  const size_t attrs_cap = std::min(config.max_attrs,
+                                    config.concepts_per_domain);
+  const size_t attrs_floor = std::min(config.min_attrs, attrs_cap);
+
+  for (size_t d = 0; d < out.num_domains; ++d) {
+    Rng rng(Mix64(config.seed ^ (kDomainSalt + d)));
+
+    // The domain's vocabulary: one variant family per concept.
+    std::vector<std::vector<std::string>> families;
+    families.reserve(config.concepts_per_domain);
+    for (size_t c = 0; c < config.concepts_per_domain; ++c) {
+      const size_t word_len = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(config.base_word_min),
+          static_cast<int64_t>(config.base_word_max)));
+      families.push_back(
+          BuildFamily(&rng, word_len, config.variants_per_concept));
+    }
+
+    const size_t domain_sources =
+        std::min(config.sources_per_domain,
+                 config.num_sources - d * config.sources_per_domain);
+    for (size_t i = 0; i < domain_sources; ++i) {
+      Source source(0, "scale" + std::to_string(d) + "-" +
+                           std::to_string(i) + ".example.com");
+      const size_t attr_count = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(attrs_floor),
+          static_cast<int64_t>(attrs_cap)));
+      std::vector<size_t> concepts = rng.SampleWithoutReplacement(
+          config.concepts_per_domain, attr_count);
+      std::sort(concepts.begin(), concepts.end());
+      for (const size_t c : concepts) {
+        const size_t v = rng.Uniform(config.variants_per_concept);
+        source.AddAttribute(Attribute(
+            families[c][v],
+            static_cast<int32_t>(d * config.concepts_per_domain + c)));
+      }
+      // Schema-only sources: no tuples (uncooperative), but a plausible
+      // reported cardinality and MTTF so the engine's default QEF set
+      // still evaluates against a scale universe.
+      source.set_cardinality(1000 + rng.Uniform(99'000));
+      source.characteristics().Set(
+          "mttf", std::max(1.0, rng.Gaussian(100.0, 40.0)));
+      out.universe.AddSource(std::move(source));
+    }
+  }
+  return out;
+}
+
+}  // namespace mube

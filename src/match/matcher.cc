@@ -1,8 +1,10 @@
 #include "match/matcher.h"
 
 #include <algorithm>
+#include <map>
 #include <queue>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 #include "schema/universe.h"
@@ -45,7 +47,7 @@ bool SourcesDisjoint(const std::vector<uint32_t>& a,
 /// linkage: "the similarity between two clusters is the maximum similarity
 /// between an attribute from the first cluster and an attribute from the
 /// second cluster". Average linkage is kept as an ablation.
-double ClusterSimilarity(const SimilarityMatrix& sim, ClusterLinkage linkage,
+double ClusterSimilarity(const SimilaritySource& sim, ClusterLinkage linkage,
                          const Cluster& a, const Cluster& b) {
   if (linkage == ClusterLinkage::kAverage) {
     double sum = 0.0;
@@ -64,7 +66,7 @@ double ClusterSimilarity(const SimilarityMatrix& sim, ClusterLinkage linkage,
 }
 
 /// Max pairwise similarity *within* a cluster — the per-GA quality measure.
-double IntraClusterQuality(const SimilarityMatrix& sim, const Cluster& c) {
+double IntraClusterQuality(const SimilaritySource& sim, const Cluster& c) {
   double best = 0.0;
   for (size_t i = 0; i < c.attrs.size(); ++i) {
     for (size_t j = i + 1; j < c.attrs.size(); ++j) {
@@ -89,7 +91,7 @@ struct HeapEntry {
 
 }  // namespace
 
-Matcher::Matcher(const Universe& universe, const SimilarityMatrix& similarity)
+Matcher::Matcher(const Universe& universe, const SimilaritySource& similarity)
     : universe_(universe), similarity_(similarity) {}
 
 Result<MatchResult> Matcher::Match(
@@ -99,6 +101,14 @@ Result<MatchResult> Matcher::Match(
   // ---- Input validation -------------------------------------------------
   if (options.theta < 0.0 || options.theta > 1.0) {
     return Status::InvalidArgument("theta must be in [0, 1]");
+  }
+  if (options.theta < similarity_.neighbor_floor()) {
+    return Status::InvalidArgument(
+        "theta " + std::to_string(options.theta) +
+        " is below the similarity source's neighbor floor " +
+        std::to_string(similarity_.neighbor_floor()) +
+        "; a sparse index cannot enumerate pairs under its index_theta — "
+        "rebuild it with a lower SparseIndexOptions::index_theta");
   }
   std::unordered_set<uint32_t> in_s;
   for (uint32_t sid : source_ids) {
@@ -170,6 +180,12 @@ Result<MatchResult> Matcher::Match(
   // (grew to >= 2 members, then ran out of viable partners).
   std::vector<Cluster> frozen;
 
+  // Member-attribute → live-cluster index, refreshed each iteration. Sized
+  // to the whole universe so neighbor callbacks (which yield *global*
+  // attribute indexes, including attributes outside S) resolve in O(1).
+  constexpr uint32_t kNoCluster = UINT32_MAX;
+  std::vector<uint32_t> cluster_of(similarity_.attribute_count(), kNoCluster);
+
   // ---- Main loop (Algorithm 1, lines 5-23) -------------------------------
   bool done = false;
   while (!done) {
@@ -181,15 +197,44 @@ Result<MatchResult> Matcher::Match(
     }
 
     // Line 8: all live cluster pairs with similarity >= theta, best first.
-    std::priority_queue<HeapEntry> heap;
+    // Candidate pairs come from θ-neighbor enumeration rather than a k²
+    // cluster-pair scan: under either linkage a cluster pair can only
+    // reach θ if some cross attribute pair does (max ≥ average), so the
+    // candidate set — and with it the heap contents — is identical to the
+    // exhaustive scan whenever enumeration is complete (θ ≥ the source's
+    // neighbor floor, validated above).
+    std::fill(cluster_of.begin(), cluster_of.end(), kNoCluster);
     for (uint32_t i = 0; i < clusters.size(); ++i) {
       if (!clusters[i].alive) continue;
-      for (uint32_t j = i + 1; j < clusters.size(); ++j) {
-        if (!clusters[j].alive) continue;
-        const double s = ClusterSimilarity(similarity_, options.linkage,
-                                           clusters[i], clusters[j]);
-        if (s >= options.theta) heap.push(HeapEntry{s, i, j});
+      for (uint32_t a : clusters[i].attrs) cluster_of[a] = i;
+    }
+    // kMax: the cluster similarity is the max cross pair, every cross pair
+    // ≥ θ is enumerated, so the running max over callbacks IS the cluster
+    // similarity. kAverage: enumeration only nominates the pair; the
+    // average needs the sub-θ pairs too and is computed exactly via At().
+    // std::map keys keep candidate pairs in deterministic (c1, c2) order.
+    std::map<std::pair<uint32_t, uint32_t>, double> candidates;
+    for (uint32_t i = 0; i < clusters.size(); ++i) {
+      if (!clusters[i].alive) continue;
+      for (uint32_t a : clusters[i].attrs) {
+        similarity_.ForEachNeighborAtLeast(
+            a, options.theta, [&](size_t nbr, float sim) {
+              const uint32_t j = cluster_of[nbr];
+              if (j == kNoCluster || j == i) return;
+              const auto key = std::minmax(i, j);
+              double& best = candidates[{key.first, key.second}];
+              best = std::max(best, static_cast<double>(sim));
+            });
       }
+    }
+    std::priority_queue<HeapEntry> heap;
+    for (const auto& [pair, max_sim] : candidates) {
+      const double s =
+          options.linkage == ClusterLinkage::kMax
+              ? max_sim
+              : ClusterSimilarity(similarity_, options.linkage,
+                                  clusters[pair.first], clusters[pair.second]);
+      if (s >= options.theta) heap.push(HeapEntry{s, pair.first, pair.second});
     }
 
     // Lines 9-19.

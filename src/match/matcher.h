@@ -6,13 +6,24 @@
 
 #include "common/status.h"
 #include "schema/mediated_schema.h"
-#include "text/similarity_matrix.h"
+#include "text/similarity_source.h"
 
 /// \file matcher.h
 /// The schema matching operator Match(S) (paper §3, Algorithm 1): greedy
 /// constrained similarity clustering over the attributes of a set of
 /// sources, producing the automatically generated mediated schema M and its
 /// matching-quality value F1(S).
+///
+/// The Matcher programs against the SimilaritySource interface, not a
+/// concrete store: small universes hand it the dense SimilarityMatrix,
+/// internet-scale ones the blocked SparseSimilarityIndex (the engine picks;
+/// see MubeConfig::similarity_index). Candidate cluster pairs are found by
+/// enumerating each member attribute's θ-neighbors instead of scanning all
+/// cluster pairs — identical output (a cluster pair can only clear θ if
+/// some cross pair does, under either linkage), but the work scales with
+/// the number of above-θ pairs rather than k². Match therefore requires
+/// θ ≥ SimilaritySource::neighbor_floor() and rejects lower thresholds,
+/// which the dense matrix (floor 0) never triggers.
 ///
 /// Properties guaranteed by construction (and asserted by the test suite):
 ///  - every emitted GA is valid (≤ 1 attribute per source, Definition 1);
@@ -75,12 +86,13 @@ struct MatchResult {
 };
 
 /// \brief Stateless executor of Algorithm 1 over a precomputed similarity
-/// matrix. One Matcher serves any number of Match calls with any subsets
-/// and constraint sets; it holds only const references.
+/// source (dense matrix or sparse index). One Matcher serves any number of
+/// Match calls with any subsets and constraint sets; it holds only const
+/// references.
 class Matcher {
  public:
   /// Both referents must outlive the Matcher.
-  Matcher(const Universe& universe, const SimilarityMatrix& similarity);
+  Matcher(const Universe& universe, const SimilaritySource& similarity);
 
   /// Runs Match(S, C, G).
   ///
@@ -93,8 +105,10 @@ class Matcher {
   /// \param ga_constraints    G — a partial mediated schema; every GA must
   ///                          be valid and reference attributes of sources
   ///                          in S
-  /// Returns InvalidArgument for malformed inputs; an infeasible matching
-  /// is NOT an error (see MatchResult::feasible).
+  /// Returns InvalidArgument for malformed inputs — including a theta
+  /// below the similarity source's neighbor_floor(), where sparse neighbor
+  /// enumeration could silently miss merges; an infeasible matching is NOT
+  /// an error (see MatchResult::feasible).
   Result<MatchResult> Match(const std::vector<uint32_t>& source_ids,
                             const MatchOptions& options,
                             const std::vector<uint32_t>& source_constraints,
@@ -108,7 +122,7 @@ class Matcher {
 
  private:
   const Universe& universe_;
-  const SimilarityMatrix& similarity_;
+  const SimilaritySource& similarity_;
 };
 
 }  // namespace mube

@@ -31,7 +31,7 @@ class UnionFind {
 }  // namespace
 
 NaiveMatchResult NaiveComponentsMatch(
-    const Universe& universe, const SimilarityMatrix& similarity,
+    const Universe& universe, const SimilaritySource& similarity,
     const std::vector<uint32_t>& source_ids, double theta) {
   // Collect the global attribute indexes of S.
   std::vector<size_t> attrs;
@@ -43,9 +43,28 @@ NaiveMatchResult NaiveComponentsMatch(
   }
 
   UnionFind uf(attrs.size());
-  for (size_t i = 0; i < attrs.size(); ++i) {
-    for (size_t j = i + 1; j < attrs.size(); ++j) {
-      if (similarity.At(attrs[i], attrs[j]) >= theta) uf.Union(i, j);
+  if (theta >= similarity.neighbor_floor()) {
+    // θ-neighbor enumeration: the edges are exactly the pairs ≥ theta, so
+    // the components match the exhaustive scan (up to candidate recall on
+    // a sparse index). Scales with stored pairs, not |attrs|².
+    constexpr size_t kNotInS = SIZE_MAX;
+    std::vector<size_t> local(similarity.attribute_count(), kNotInS);
+    for (size_t i = 0; i < attrs.size(); ++i) local[attrs[i]] = i;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      similarity.ForEachNeighborAtLeast(
+          attrs[i], theta, [&](size_t nbr, float sim) {
+            (void)sim;
+            const size_t j = local[nbr];
+            if (j != kNotInS && j != i) uf.Union(i, j);
+          });
+    }
+  } else {
+    // Below the floor a sparse index cannot enumerate; exhaustive At() is
+    // exact on every implementation (the sparse fallback recomputes).
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      for (size_t j = i + 1; j < attrs.size(); ++j) {
+        if (similarity.At(attrs[i], attrs[j]) >= theta) uf.Union(i, j);
+      }
     }
   }
 

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "schema/mediated_schema.h"
-#include "text/similarity_matrix.h"
+#include "text/similarity_source.h"
 
 /// \file naive_matcher.h
 /// Transitive-closure matching — the baseline Algorithm 1 improves on.
@@ -41,9 +41,12 @@ struct NaiveMatchResult {
 };
 
 /// Clusters the attributes of `source_ids` into θ-similarity connected
-/// components.
+/// components. Works against any SimilaritySource: when theta ≥ the
+/// source's neighbor_floor() the edge scan enumerates stored θ-neighbors
+/// (sparse-index fast path); below the floor it falls back to exhaustive
+/// At() pairs, which stays exact on every implementation.
 NaiveMatchResult NaiveComponentsMatch(const Universe& universe,
-                                      const SimilarityMatrix& similarity,
+                                      const SimilaritySource& similarity,
                                       const std::vector<uint32_t>& source_ids,
                                       double theta);
 

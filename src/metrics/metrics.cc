@@ -64,6 +64,21 @@ uint64_t Counter::Value() const {
   return total;
 }
 
+void Gauge::Set(double value) {
+  MutexLock lock(&mu_);
+  value_ = value;
+}
+
+void Gauge::Add(double delta) {
+  MutexLock lock(&mu_);
+  value_ += delta;
+}
+
+double Gauge::Value() const {
+  MutexLock lock(&mu_);
+  return value_;
+}
+
 Histogram::Histogram(std::vector<double> upper_bounds)
     : upper_bounds_(std::move(upper_bounds)) {
   MUBE_CHECK(!upper_bounds_.empty());
@@ -155,8 +170,23 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
     entry.counter = std::make_unique<Counter>();
     it = metrics_.emplace(name, std::move(entry)).first;
   }
-  MUBE_CHECK(it->second.counter != nullptr);  // name already a histogram?
+  MUBE_CHECK(it->second.counter != nullptr);  // name already another type?
   return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  MUBE_CHECK(IsValidMetricName(name));
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.help = help;
+    entry.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  MUBE_CHECK(it->second.gauge != nullptr);  // name already another type?
+  return it->second.gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
@@ -171,7 +201,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
     entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
     it = metrics_.emplace(name, std::move(entry)).first;
   }
-  MUBE_CHECK(it->second.histogram != nullptr);  // name already a counter?
+  MUBE_CHECK(it->second.histogram != nullptr);  // name already another type?
   return it->second.histogram.get();
 }
 
@@ -191,6 +221,9 @@ std::string MetricsRegistry::Expose() const {
     if (entry.counter != nullptr) {
       out << "# TYPE " << name << " counter\n";
       out << name << " " << entry.counter->Value() << "\n";
+    } else if (entry.gauge != nullptr) {
+      out << "# TYPE " << name << " gauge\n";
+      out << name << " " << FormatDouble(entry.gauge->Value()) << "\n";
     } else {
       out << "# TYPE " << name << " histogram\n";
       const Histogram::Snapshot snap = entry.histogram->TakeSnapshot();

@@ -63,6 +63,32 @@ class Counter {
   std::array<Shard, kShards> shards_;
 };
 
+/// \brief Settable instantaneous value (Prometheus gauge semantics): the
+/// last Set/Add wins, readers see a point-in-time value. Used for
+/// footprints and occupancy (e.g. the similarity index's resident bytes)
+/// where the quantity goes both up and down, so a Counter cannot model it.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  /// Replaces the value (thread-safe).
+  void Set(double value);
+
+  /// Adjusts the value by `delta`, which may be negative (thread-safe).
+  void Add(double delta);
+
+  /// Current value (thread-safe, never torn).
+  double Value() const;
+
+ private:
+  /// A gauge is a single last-writer-wins cell: sharding would force reads
+  /// to pick one shard's truth, so unlike Counter it takes one lock.
+  mutable Mutex mu_;
+  double value_ GUARDED_BY(mu_) = 0.0;
+};
+
 /// \brief Fixed-bucket histogram: cumulative bucket counts over explicit
 /// upper bounds, plus total count and sum (Prometheus histogram semantics).
 /// Bucket boundaries are fixed at construction — recording never allocates.
@@ -128,6 +154,9 @@ class MetricsRegistry {
   /// [a-zA-Z_][a-zA-Z0-9_]* (CHECK-enforced).
   Counter* GetCounter(const std::string& name, const std::string& help = "");
 
+  /// Returns the gauge named `name`, creating it on first use.
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+
   /// Returns the histogram named `name`, creating it with `upper_bounds`
   /// on first use (later calls ignore the bounds argument).
   Histogram* GetHistogram(const std::string& name,
@@ -138,9 +167,9 @@ class MetricsRegistry {
   size_t size() const;
 
   /// Deterministic text exposition (Prometheus-flavored): metrics sorted by
-  /// name; counters as `<name> <value>`, histograms as cumulative
-  /// `<name>_bucket{le="..."}` series plus `_sum` and `_count`, each
-  /// preceded by optional `# HELP` and mandatory `# TYPE` lines. Two
+  /// name; counters as `<name> <value>`, gauges likewise, histograms as
+  /// cumulative `<name>_bucket{le="..."}` series plus `_sum` and `_count`,
+  /// each preceded by optional `# HELP` and mandatory `# TYPE` lines. Two
   /// registries holding the same values render byte-identically.
   std::string Expose() const;
 
@@ -148,14 +177,16 @@ class MetricsRegistry {
   struct Entry {
     std::string help;
     std::unique_ptr<Counter> counter;      // exactly one of
-    std::unique_ptr<Histogram> histogram;  // these two is set
+    std::unique_ptr<Gauge> gauge;          // these three
+    std::unique_ptr<Histogram> histogram;  // is set
   };
 
   /// Expose() walks the metric map under mu_ while Counter::Value /
-  /// Histogram::TakeSnapshot take the shard locks — a cross-class nesting
-  /// Clang's attribute expressions cannot name, declared for
-  /// tools/lint/mube_lint.py's lock-order rule instead:
+  /// Gauge::Value / Histogram::TakeSnapshot take the metric-level locks — a
+  /// cross-class nesting Clang's attribute expressions cannot name,
+  /// declared for tools/lint/mube_lint.py's lock-order rule instead:
   // LOCK-ORDER: MetricsRegistry::mu_ -> Counter::Shard::mu
+  // LOCK-ORDER: MetricsRegistry::mu_ -> Gauge::mu_
   // LOCK-ORDER: MetricsRegistry::mu_ -> Histogram::Shard::mu
   mutable Mutex mu_;
   std::map<std::string, Entry> metrics_ GUARDED_BY(mu_);

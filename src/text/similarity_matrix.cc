@@ -41,6 +41,20 @@ void SimilarityMatrix::ApplyChurn(const Universe& universe,
   Recompute(universe, measure, dirty, old_values, n_, threads);
 }
 
+void SimilarityMatrix::ForEachNeighborAtLeast(size_t i, double theta,
+                                              const NeighborFn& fn) const {
+  // Dense: scan the whole row. The column part (j < i) reads scattered
+  // packed slots, the row part (j > i) is contiguous; both are ascending j.
+  for (size_t j = 0; j < i; ++j) {
+    const float sim = values_[Offset(j, i)];
+    if (static_cast<double>(sim) >= theta) fn(j, sim);
+  }
+  for (size_t j = i + 1; j < n_; ++j) {
+    const float sim = values_[Offset(i, j)];
+    if (static_cast<double>(sim) >= theta) fn(j, sim);
+  }
+}
+
 void SimilarityMatrix::Recompute(const Universe& universe,
                                  const SimilarityMeasure& measure,
                                  const std::vector<bool>& dirty_attrs,

@@ -2,21 +2,34 @@
 #define MUBE_TEXT_SIMILARITY_MATRIX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "schema/attribute.h"
 #include "text/similarity.h"
+#include "text/similarity_source.h"
 
 /// \file similarity_matrix.h
-/// Precomputed pairwise attribute similarities over a whole universe.
+/// Precomputed pairwise attribute similarities over a whole universe — the
+/// *dense* implementation of the SimilaritySource interface.
 /// Match(S) is invoked thousands of times by the optimizer with different
 /// subsets S, but the pairwise similarity of two attributes never changes,
-/// so µBE computes the full |A| × |A| matrix once per session. Attributes of
-/// the same source are never compared (a valid GA cannot contain two of
-/// them), so their entries are fixed at 0. Attributes of retired sources
-/// (see Universe::RetireSource) are likewise fixed at 0 — they keep their
-/// rows so live attribute indexes never shift, but must not attract merges
-/// or inflate pruning bounds.
+/// so it pays to precompute. How much to precompute is a scale decision:
+/// this matrix materializes the full |A| × |A| upper triangle — exact for
+/// every pair at any threshold — which is the right structure for
+/// universes up to a few thousand attributes (the paper's 700 sources).
+/// Past that the O(|A|²) build and footprint are infeasible, and the
+/// engine selects SparseSimilarityIndex (text/sparse_similarity.h)
+/// instead, which stores only candidate pairs at or above a threshold; see
+/// MubeConfig::similarity_index for the selection rule. The dense matrix
+/// remains the ground truth the sparse index is differential-tested
+/// against.
+///
+/// Attributes of the same source are never compared (a valid GA cannot
+/// contain two of them), so their entries are fixed at 0. Attributes of
+/// retired sources (see Universe::RetireSource) are likewise fixed at 0 —
+/// they keep their rows so live attribute indexes never shift, but must
+/// not attract merges or inflate pruning bounds.
 ///
 /// Under source churn the matrix is maintained *incrementally*: only pairs
 /// touching a changed source are re-evaluated with the measure; all other
@@ -37,7 +50,7 @@ class Universe;
 /// optimizer relies on this. The mutators themselves require external
 /// exclusion (they are driven single-threaded from the session loop) and
 /// internally fan out over an owned ThreadPool with disjoint writes.
-class SimilarityMatrix {
+class SimilarityMatrix : public SimilaritySource {
  public:
   /// Computes all cross-source pairwise similarities with `measure`.
   /// O(|A|²) similarity calls; for the paper's largest setting (700 sources,
@@ -55,7 +68,7 @@ class SimilarityMatrix {
   /// fallback when the measure itself is corpus-derived and churn
   /// invalidates every pair.
   void Rebuild(const Universe& universe, const SimilarityMeasure& measure,
-               unsigned threads = 1);
+               unsigned threads = 1) override;
 
   /// Incrementally reconciles the matrix with a universe mutated by churn.
   /// `dirty_sources` must list every source whose attribute set changed:
@@ -66,27 +79,42 @@ class SimilarityMatrix {
   /// the mutated universe at a fraction of the similarity calls.
   void ApplyChurn(const Universe& universe, const SimilarityMeasure& measure,
                   const std::vector<uint32_t>& dirty_sources,
-                  unsigned threads = 1);
+                  unsigned threads = 1) override;
 
   /// Similarity of global attribute indexes i and j. Symmetric;
   /// same-source pairs and the diagonal return 0 (they can never co-occur
   /// in a GA, and clustering must not try to merge them).
-  double At(size_t i, size_t j) const {
+  double At(size_t i, size_t j) const override {
     if (i == j) return 0.0;
     if (i > j) std::swap(i, j);
     return values_[Offset(i, j)];
   }
 
-  size_t attribute_count() const { return n_; }
+  size_t attribute_count() const override { return n_; }
 
   /// Largest similarity between attribute i and *any* other attribute.
   /// Algorithm 1 prunes clusters whose best similarity is below θ; this
   /// per-attribute bound lets the pruning happen before clustering starts.
-  double MaxSimilarityOf(size_t i) const { return row_max_[i]; }
+  double MaxSimilarityOf(size_t i) const override { return row_max_[i]; }
+
+  /// Full-row scan: every j with At(i, j) >= theta, ascending. Complete at
+  /// any theta (the matrix holds every pair), hence a floor of 0.
+  void ForEachNeighborAtLeast(size_t i, double theta,
+                              const NeighborFn& fn) const override;
+  double neighbor_floor() const override { return 0.0; }
+
+  std::unique_ptr<SimilaritySource> CloneSource() const override {
+    return std::make_unique<SimilarityMatrix>(*this);
+  }
+
+  size_t MemoryBytes() const override {
+    return values_.capacity() * sizeof(float) +
+           row_max_.capacity() * sizeof(float);
+  }
 
   /// Measure evaluations performed by the last (re)build or churn
   /// application — what incremental maintenance saves.
-  size_t last_measure_calls() const { return last_measure_calls_; }
+  size_t last_measure_calls() const override { return last_measure_calls_; }
 
  private:
   // Index into the packed strict upper triangle for i < j.

@@ -97,6 +97,33 @@ TEST(HistogramTest, ConcurrentObservationsAllLand) {
             static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
+// ------------------------------------------------------------------Gauge --
+
+TEST(GaugeTest, SetAddAndValue) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(42.5);
+  EXPECT_EQ(gauge.Value(), 42.5);
+  gauge.Add(-2.5);
+  EXPECT_EQ(gauge.Value(), 40.0);
+  gauge.Set(7.0);  // Set replaces, never accumulates
+  EXPECT_EQ(gauge.Value(), 7.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsAllLand) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(gauge.Value(), static_cast<double>(kThreads) * kPerThread);
+}
+
 // ---------------------------------------------------------------Registry --
 
 TEST(MetricsRegistryTest, CreateOrGetReturnsStableHandles) {
@@ -118,6 +145,20 @@ TEST(MetricsRegistryDeathTest, TypeMismatchIsAWiringBug) {
   MetricsRegistry registry;
   registry.GetCounter("m");
   EXPECT_DEATH(registry.GetHistogram("m", {1.0}), "");
+  EXPECT_DEATH(registry.GetGauge("m"), "");
+}
+
+TEST(MetricsRegistryTest, GaugeHandlesAndExposition) {
+  MetricsRegistry registry;
+  Gauge* a = registry.GetGauge("index_memory_bytes", "resident bytes");
+  Gauge* b = registry.GetGauge("index_memory_bytes");
+  EXPECT_EQ(a, b);
+  a->Set(1536.0);
+  const std::string text = registry.Expose();
+  EXPECT_NE(text.find("# TYPE index_memory_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("# HELP index_memory_bytes resident bytes"),
+            std::string::npos);
+  EXPECT_NE(text.find("index_memory_bytes 1536"), std::string::npos);
 }
 
 TEST(MetricsRegistryDeathTest, BadNamesAreRejected) {

@@ -1,0 +1,44 @@
+// LINT-PATH: src/lintfix/det_iteration_buckets.cc
+// Fixture: det-iteration over LSH hash-bucket structures — the shape the
+// sparse similarity index (src/text/sparse_similarity.h) must avoid. A
+// band-key → attribute-postings map iterated in hash order would make
+// candidate generation (and hence stats, capping, and any tie-sensitive
+// downstream order) depend on the hash seed; the real index stores buckets
+// as a CSR over *sorted* unique keys so every walk has one fixed order.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/det.h"
+
+namespace mube {
+
+using BandBuckets = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+
+uint64_t CandidateCount(const BandBuckets& unused) {
+  BandBuckets buckets;
+  std::unordered_map<uint64_t, uint32_t> gram_df;
+
+  uint64_t candidates = 0;
+  // Hash-order walk over the buckets: which oversized bucket gets skipped
+  // first — and every emission order downstream — would follow the seed.
+  for (const auto& [key, attrs] : buckets) {  // LINT-EXPECT: det-iteration
+    candidates += attrs.size() * attrs.size();
+  }
+  for (const auto& [gram, df] : gram_df) {  // LINT-EXPECT: det-iteration
+    candidates += df;
+  }
+
+  // Deterministic alternatives: det.h-sorted key order...
+  for (uint64_t key : det::SortedKeys(buckets)) {
+    candidates += buckets.at(key).size();
+  }
+  // ...and point lookups, which never observe hash order.
+  if (gram_df.count(42) != 0) {
+    candidates += gram_df.at(42);
+  }
+  (void)unused;
+  return candidates;
+}
+
+}  // namespace mube
